@@ -1,0 +1,114 @@
+// Ablations for the design choices DESIGN.md calls out (not a paper
+// experiment):
+//   1. FFD vs BFD bin packing: bin count, fake-tuple overhead.
+//   2. Fake-tuple method (i) equal-count vs (ii) bin-simulation: storage
+//      overhead shipped by DP (Alg. 1 lines 12-15).
+//   3. Super-bin factor f: retrieval balance vs per-query fetch volume
+//      (§8's privacy/efficiency trade-off).
+//   4. Oblivious (Concealer+) cost attribution: trapdoor generation vs
+//      filtering.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "concealer/bin_packing.h"
+#include "concealer/grid.h"
+#include "concealer/super_bins.h"
+#include "crypto/grid_hash.h"
+#include "enclave/oblivious.h"
+
+using namespace concealer;
+
+int main() {
+  bench::PrintHeader("Ablations: packing, fake methods, super-bins, oblivious",
+                     "DESIGN.md design-choice index (not a paper figure)");
+
+  bench::WifiDataset ds = bench::MakeWifiDataset(/*large=*/false);
+  GridHash hash;
+  if (!hash.SetKey(Bytes(32, 0x99)).ok()) return 1;
+  auto grid = Grid::Create(ds.config, &hash, 0, 0);
+  if (!grid.ok()) return 1;
+  std::vector<uint32_t> c_tuple(ds.config.num_cell_ids, 0);
+  GridLayout layout;
+  layout.cell_of_cell_index.resize(grid->num_cells());
+  layout.count_per_cell.assign(grid->num_cells(), 0);
+  for (uint32_t c = 0; c < grid->num_cells(); ++c) {
+    layout.cell_of_cell_index[c] = grid->CellIdOf(c);
+  }
+  for (const PlainTuple& t : ds.tuples) {
+    auto cell = grid->CellIndexOf(t.keys, t.time);
+    if (!cell.ok()) return 1;
+    c_tuple[grid->CellIdOf(*cell)]++;
+    layout.count_per_cell[*cell]++;
+  }
+  layout.count_per_cell_id = c_tuple;
+  const uint64_t n_real = ds.tuples.size();
+
+  // --- 1. FFD vs BFD ----------------------------------------------------
+  std::printf("[1] packing algorithm (n=%llu real tuples)\n",
+              (unsigned long long)n_real);
+  std::printf("    %-6s %10s %10s %14s %16s\n", "algo", "binsize", "#bins",
+              "total fakes", "fake overhead");
+  for (const bool bfd : {false, true}) {
+    Timer t;
+    auto plan = MakeBinPlan(c_tuple, bfd ? PackAlgorithm::kBestFitDecreasing
+                                         : PackAlgorithm::kFirstFitDecreasing);
+    if (!plan.ok()) return 1;
+    std::printf("    %-6s %10u %10zu %14llu %15.1f%%  (%.3fs)\n",
+                bfd ? "BFD" : "FFD", plan->bin_size, plan->bins.size(),
+                (unsigned long long)plan->total_fakes,
+                100.0 * plan->total_fakes / n_real, t.ElapsedSeconds());
+  }
+
+  // --- 2. Fake-tuple method (i) vs (ii) ---------------------------------
+  auto plan = MakeBinPlan(c_tuple, PackAlgorithm::kFirstFitDecreasing);
+  if (!plan.ok()) return 1;
+  const uint64_t method2 = plan->total_fakes;
+  const uint64_t method1 = std::max(n_real, method2);
+  std::printf("\n[2] fake-tuple generation (Alg. 1 lines 12-15)\n");
+  std::printf("    method (i) equal-count:    %llu fakes (%.1f%% of real)\n",
+              (unsigned long long)method1, 100.0 * method1 / n_real);
+  std::printf("    method (ii) bin-simulated: %llu fakes (%.1f%% of real)\n",
+              (unsigned long long)method2, 100.0 * method2 / n_real);
+
+  // --- 3. Super-bin factor ----------------------------------------------
+  std::printf("\n[3] super-bin factor f (uniform-workload retrieval spread "
+              "vs fetch cost)\n");
+  std::printf("    %-6s %16s %16s %18s\n", "f", "max retrievals",
+              "min retrievals", "bins per fetch");
+  const auto unique = EstimateUniqueValuesPerBin(*plan, layout);
+  const uint32_t num_bins = static_cast<uint32_t>(plan->bins.size());
+  std::printf("    %-6s %16s %16s %18s   (no super-bins: per-bin retrieval "
+              "count = its unique values)\n", "off", "-", "-", "1");
+  for (uint32_t f : {2u, 4u, 8u}) {
+    uint32_t usable = f;
+    while (usable > 1 && num_bins % usable != 0) --usable;
+    auto sbp = MakeSuperBins(unique, usable);
+    if (!sbp.ok()) continue;
+    auto retrievals = UniformWorkloadRetrievals(*sbp);
+    uint64_t mx = 0, mn = ~0ull;
+    for (uint64_t r : retrievals) {
+      mx = std::max(mx, r);
+      mn = std::min(mn, r);
+    }
+    std::printf("    %-6u %16llu %16llu %18u\n", usable,
+                (unsigned long long)mx, (unsigned long long)mn,
+                num_bins / usable);
+  }
+
+  // --- 4. Oblivious cost attribution ------------------------------------
+  std::printf("\n[4] Concealer+ cost attribution (point query)\n");
+  bench::Pipeline p = bench::BuildPipeline(ds, /*build_oracle=*/false);
+  Query q = bench::RandomPointQueries(ds, 1, 3)[0];
+  const double plain = bench::TimeQuery(p.sp.get(), q, bench::Reps());
+  q.oblivious = true;
+  OpCounter().Reset();
+  const double obl = bench::TimeQuery(p.sp.get(), q, bench::Reps());
+  std::printf("    plain %.4fs -> oblivious %.4fs (%.2fx); oblivious ops "
+              "per query ≈ %llu\n",
+              plain, obl, plain > 0 ? obl / plain : 0,
+              (unsigned long long)(OpCounter().Total() / bench::Reps()));
+  bench::PrintFooter();
+  return 0;
+}

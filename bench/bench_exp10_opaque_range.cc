@@ -1,0 +1,51 @@
+// Exp 10 / Table 7 (paper §9.3): range queries Q1-Q5 on the large WiFi
+// dataset — Opaque full scan vs Concealer eBPB vs winSecRange.
+//
+//   paper Table 7: Opaque > 10 min for every query; eBPB 2.8-4s;
+//   winSecRange 67.2-71.9s.
+//
+// Shape to hold: eBPB << winSecRange << Opaque, uniformly across Q1-Q5.
+
+#include <cstdio>
+
+#include "baseline/opaque_scan.h"
+#include "bench_util.h"
+#include "common/timer.h"
+
+using namespace concealer;
+
+int main() {
+  bench::PrintHeader(
+      "Exp 10 / Table 7: range queries — Opaque vs eBPB vs winSecRange",
+      "paper Table 7 (large dataset, 20-minute ranges)");
+
+  bench::WifiDataset ds = bench::MakeWifiDataset(/*large=*/true);
+  bench::Pipeline p = bench::BuildPipeline(ds, /*build_oracle=*/false);
+  OpaqueScanBaseline opaque(&p.sp->enclave(), &p.sp->table(), ds.config);
+
+  auto queries = bench::PaperQueries(ds, 50ull * 86400 + 9 * 3600, 20,
+                                     /*extra_locations=*/40);
+  const int reps = bench::Reps();
+
+  std::printf("%-8s %12s %12s %16s\n", "query", "Opaque(s)", "eBPB(s)",
+              "winSecRange(s)");
+  const char* names[5] = {"Q1", "Q2", "Q3", "Q4", "Q5"};
+  for (int i = 0; i < 5; ++i) {
+    Query q = queries[i];
+    Timer t_scan;
+    auto scan = opaque.Execute(p.sp->EpochRowRanges(), q);
+    const double opaque_secs = t_scan.ElapsedSeconds();
+    if (!scan.ok()) return 1;
+
+    q.method = RangeMethod::kEBPB;
+    const double ebpb = bench::TimeQuery(p.sp.get(), q, reps);
+    q.method = RangeMethod::kWinSecRange;
+    const double winsec = bench::TimeQuery(p.sp.get(), q, reps);
+    std::printf("%-8s %12.3f %12.4f %16.4f\n", names[i], opaque_secs, ebpb,
+                winsec);
+  }
+  std::printf("\npaper: Opaque >10min; eBPB ≤4s; winSecRange ≤71.9s — "
+              "eBPB << winSecRange << Opaque\n");
+  bench::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Exp 2 / Table 5 (paper §9.2): point-query scalability.
+//
+//   paper (26M / 136M rows):  cleartext 0.03s / 0.05s
+//                             Concealer 0.23s / 0.90s
+//                             Concealer+ 0.37s / 1.38s
+//
+// Shape to hold: cleartext (indexed) < Concealer < Concealer+, with
+// Concealer+ roughly 1.5-2x Concealer, and all of them fast (sub-second
+// at scale) because the fetch unit is one bin, not the table.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace concealer;
+
+namespace {
+
+void RunDataset(bool large) {
+  bench::WifiDataset ds = bench::MakeWifiDataset(large);
+  bench::Pipeline p = bench::BuildPipeline(ds, /*build_oracle=*/true);
+
+  const auto queries = bench::RandomPointQueries(ds, 5, 99);
+  const int reps = bench::Reps();
+
+  double clear = 0, conc = 0, conc_plus = 0;
+  uint64_t fetched = 0;
+  for (Query q : queries) {
+    clear += bench::TimeCleartext(p.oracle.get(), q, reps);
+    conc += bench::TimeQuery(p.sp.get(), q, reps);
+    q.oblivious = true;
+    conc_plus += bench::TimeQuery(p.sp.get(), q, reps);
+    auto r = p.sp->Execute(q);
+    fetched = r.ok() ? r->rows_fetched : 0;
+  }
+  const double n = queries.size();
+  std::printf("%-36s %12.6f %12.6f %12.6f %10llu\n", ds.name.c_str(),
+              clear / n, conc / n, conc_plus / n,
+              (unsigned long long)fetched);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Exp 2 / Table 5: point-query scalability",
+                     "paper Table 5 (cleartext vs Concealer vs Concealer+)");
+  std::printf("%-36s %12s %12s %12s %10s\n", "dataset", "cleartext(s)",
+              "Concealer(s)", "Conc+(s)", "bin rows");
+  RunDataset(/*large=*/false);
+  RunDataset(/*large=*/true);
+  std::printf("\npaper: cleartext 0.03/0.05s, Concealer 0.23/0.90s, "
+              "Concealer+ 0.37/1.38s\nshape: cleartext < Concealer < "
+              "Concealer+ (oblivious overhead), all << full scan\n");
+  bench::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Exp 2 / Figures 3 & 4 (paper §9.2): range queries Q1-Q5 (20-minute
+// range) under BPB, eBPB and winSecRange, for Concealer and Concealer+.
+//
+// Shape to hold (paper Figs 3/4): eBPB < BPB (eBPB fetches the range's
+// cells instead of whole bins); winSecRange is the most expensive but flat;
+// Concealer+ adds a constant factor over Concealer for every method.
+//
+// Pass "small" or "large" as argv[1] (Fig 3 = small 26M, Fig 4 = large
+// 136M); with no argument both figures run.
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+
+using namespace concealer;
+
+namespace {
+
+void RunFigure(bool large) {
+  bench::PrintHeader(
+      std::string("Exp 2 / Figure ") + (large ? "4" : "3") +
+          ": range queries Q1-Q5 (20-minute range), " +
+          (large ? "large" : "small") + " dataset",
+      large ? "paper Figure 4" : "paper Figure 3");
+
+  bench::WifiDataset ds = bench::MakeWifiDataset(large);
+  bench::Pipeline p = bench::BuildPipeline(ds, /*build_oracle=*/false);
+
+  const uint64_t range_start = 10ull * 86400 + 9 * 3600;  // Day 10, 9am.
+  auto queries = bench::PaperQueries(ds, range_start, 20,
+                                     /*extra_locations=*/40);
+  const int reps = bench::Reps();
+
+  std::printf("%-6s %-14s %14s %14s %12s\n", "query", "method",
+              "Concealer(s)", "Concealer+(s)", "rows");
+  const char* qnames[5] = {"Q1", "Q2", "Q3", "Q4", "Q5"};
+  struct MethodRow {
+    RangeMethod method;
+    const char* name;
+  };
+  const MethodRow methods[] = {{RangeMethod::kBPB, "BPB"},
+                               {RangeMethod::kEBPB, "eBPB"},
+                               {RangeMethod::kWinSecRange, "winSecRange"}};
+  for (int qi = 0; qi < 5; ++qi) {
+    for (const MethodRow& m : methods) {
+      Query q = queries[qi];
+      q.method = m.method;
+      const double plain = bench::TimeQuery(p.sp.get(), q, reps);
+      auto res = p.sp->Execute(q);
+      q.oblivious = true;
+      const double obl = bench::TimeQuery(p.sp.get(), q, 1);
+      std::printf("%-6s %-14s %14.4f %14.4f %12llu\n", qnames[qi], m.name,
+                  plain, obl,
+                  (unsigned long long)(res.ok() ? res->rows_fetched : 0));
+    }
+  }
+  std::printf("\npaper shape: eBPB < BPB << winSecRange; Concealer+ adds an "
+              "oblivious-\ncomputation factor on top of each method\n");
+  bench::PrintFooter();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    RunFigure(std::strcmp(argv[1], "large") == 0);
+  } else {
+    RunFigure(/*large=*/false);  // Figure 3.
+    RunFigure(/*large=*/true);   // Figure 4.
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Exp 3 / Figure 5 (paper §9.2): impact of the range length on Q1 over the
+// large dataset, comparing BPB, eBPB and winSecRange.
+//
+// Shape to hold (paper Fig 5): BPB and eBPB grow with the range length
+// (more cells -> more bins/cells fetched, one cell per ≈18 min);
+// winSecRange is flat — it always fetches whole fixed-length intervals —
+// and sits well above eBPB for short ranges.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace concealer;
+
+int main() {
+  bench::PrintHeader("Exp 3 / Figure 5: range-length impact on Q1 (large)",
+                     "paper Figure 5");
+
+  bench::WifiDataset ds = bench::MakeWifiDataset(/*large=*/true);
+  bench::Pipeline p = bench::BuildPipeline(ds, /*build_oracle=*/false);
+  const int reps = bench::Reps();
+
+  std::printf("%-10s %14s %14s %16s %12s %12s %12s\n", "range(min)",
+              "BPB(s)", "eBPB(s)", "winSecRange(s)", "BPB rows",
+              "eBPB rows", "winSec rows");
+  for (uint64_t minutes : {20, 60, 100, 150, 200, 250, 300, 350, 400}) {
+    Query q;
+    q.agg = Aggregate::kCount;
+    q.key_values = {{42}};
+    q.time_lo = 30ull * 86400 + 10 * 3600;
+    q.time_hi = q.time_lo + minutes * 60 - 1;
+
+    double secs[3];
+    uint64_t rows[3];
+    const RangeMethod methods[3] = {RangeMethod::kBPB, RangeMethod::kEBPB,
+                                    RangeMethod::kWinSecRange};
+    for (int i = 0; i < 3; ++i) {
+      q.method = methods[i];
+      secs[i] = bench::TimeQuery(p.sp.get(), q, reps);
+      auto r = p.sp->Execute(q);
+      rows[i] = r.ok() ? r->rows_fetched : 0;
+    }
+    std::printf("%-10llu %14.4f %14.4f %16.4f %12llu %12llu %12llu\n",
+                (unsigned long long)minutes, secs[0], secs[1], secs[2],
+                (unsigned long long)rows[0], (unsigned long long)rows[1],
+                (unsigned long long)rows[2]);
+  }
+  std::printf("\npaper shape: BPB/eBPB grow with range length (a cell covers "
+              "≈18min);\nwinSecRange is flat and highest for short ranges\n");
+  bench::PrintFooter();
+  return 0;
+}

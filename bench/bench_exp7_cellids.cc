@@ -1,0 +1,52 @@
+// Exp 7 / Figure 7 (paper §9.2): impact of the number of cell-ids on the
+// number of tuples fetched for a point query.
+//
+//   paper: 20,000 cell-ids -> ≈28K tuples fetched; 80,000 -> ≈7K. More
+//   cell-ids mean each cell-id owns fewer tuples, shrinking the bin size
+//   (the point-query fetch unit).
+//
+// Shape to hold: tuples fetched decreases monotonically (roughly 1/x) as
+// the number of cell-ids grows.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "concealer/bin_packing.h"
+#include "concealer/grid.h"
+#include "crypto/grid_hash.h"
+
+using namespace concealer;
+
+int main() {
+  bench::PrintHeader("Exp 7 / Figure 7: impact of the number of cell-ids",
+                     "paper Figure 7 (tuples fetched for a point query)");
+
+  bench::WifiDataset ds = bench::MakeWifiDataset(/*large=*/true);
+  GridHash hash;
+  if (!hash.SetKey(Bytes(32, 0x99)).ok()) return 1;
+
+  std::printf("%-14s %18s %14s\n", "#cell-ids", "tuples fetched",
+              "(= bin size)");
+  // Paper sweeps 20K..80K cell-ids on 136M rows; scale the sweep with the
+  // dataset.
+  const uint64_t base = 20000 / bench::Scale() * 10;
+  for (uint64_t cids = base; cids <= 4 * base; cids += base / 2) {
+    ConcealerConfig config = ds.config;
+    config.num_cell_ids = static_cast<uint32_t>(cids);
+    auto grid = Grid::Create(config, &hash, 0, 0);
+    if (!grid.ok()) return 1;
+    std::vector<uint32_t> c_tuple(config.num_cell_ids, 0);
+    for (const PlainTuple& t : ds.tuples) {
+      auto cell = grid->CellIndexOf(t.keys, t.time);
+      if (!cell.ok()) return 1;
+      c_tuple[grid->CellIdOf(*cell)]++;
+    }
+    auto plan = MakeBinPlan(c_tuple, PackAlgorithm::kFirstFitDecreasing);
+    if (!plan.ok()) return 1;
+    std::printf("%-14llu %18u\n", (unsigned long long)cids, plan->bin_size);
+  }
+  std::printf("\npaper shape: fetched tuples fall roughly as 1/#cell-ids "
+              "(28K at 20K cids\n-> 7K at 80K cids on 136M rows)\n");
+  bench::PrintFooter();
+  return 0;
+}

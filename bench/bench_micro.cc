@@ -1,0 +1,121 @@
+// Microbenchmarks (google-benchmark) for the substrates underneath every
+// experiment: AES, SHA-256, the DET/randomized ciphers, B+-tree probes and
+// the oblivious sorting network. Useful for attributing end-to-end costs.
+
+#include <benchmark/benchmark.h>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "crypto/aes.h"
+#include "crypto/det_cipher.h"
+#include "crypto/rand_cipher.h"
+#include "crypto/sha256.h"
+#include "enclave/oblivious.h"
+#include "storage/bplus_tree.h"
+
+namespace concealer {
+namespace {
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  Aes aes;
+  (void)aes.SetKey(Bytes(32, 1));
+  uint8_t block[16] = {1, 2, 3};
+  for (auto _ : state) {
+    aes.EncryptBlock(block, block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(state.range(0), 0xab);
+  for (auto _ : state) {
+    auto d = Sha256::Hash(data);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024);
+
+void BM_DetEncrypt(benchmark::State& state) {
+  DetCipher det;
+  (void)det.SetKey(Bytes(32, 2));
+  Bytes plain(state.range(0), 0x33);
+  for (auto _ : state) {
+    Bytes ct = det.Encrypt(plain);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_DetEncrypt)->Arg(13)->Arg(64);
+
+void BM_DetDecrypt(benchmark::State& state) {
+  DetCipher det;
+  (void)det.SetKey(Bytes(32, 2));
+  const Bytes ct = det.Encrypt(Bytes(64, 0x33));
+  for (auto _ : state) {
+    auto pt = det.Decrypt(ct);
+    benchmark::DoNotOptimize(pt);
+  }
+}
+BENCHMARK(BM_DetDecrypt);
+
+void BM_RandEncrypt(benchmark::State& state) {
+  RandCipher rand;
+  (void)rand.SetKey(Bytes(32, 3));
+  Bytes plain(64, 0x44);
+  for (auto _ : state) {
+    Bytes ct = rand.Encrypt(plain);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_RandEncrypt);
+
+void BM_BPlusTreeProbe(benchmark::State& state) {
+  BPlusTree tree;
+  Rng rng(1);
+  std::vector<Bytes> keys;
+  for (int i = 0; i < state.range(0); ++i) {
+    Bytes key;
+    PutFixed64(&key, rng.Next());
+    if (tree.Insert(key, i).ok()) keys.push_back(std::move(key));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto v = tree.Get(keys[i++ % keys.size()]);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_BPlusTreeProbe)->Arg(100000)->Arg(1000000);
+
+void BM_BitonicSort(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<SortRecord> recs(state.range(0));
+    for (auto& r : recs) {
+      r.key = rng.Next();
+      r.payload.assign(32, 0);
+    }
+    state.ResumeTiming();
+    BitonicSort(&recs);
+    benchmark::DoNotOptimize(recs);
+  }
+}
+BENCHMARK(BM_BitonicSort)->Arg(256)->Arg(4096);
+
+void BM_ObliviousPrimitives(benchmark::State& state) {
+  Rng rng(3);
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    const uint64_t x = rng.Next(), y = rng.Next();
+    acc += OMove(OGreater(x, y), x, y);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ObliviousPrimitives);
+
+}  // namespace
+}  // namespace concealer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+#ifndef CONCEALER_BENCH_BENCH_UTIL_H_
+#define CONCEALER_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/cleartext_db.h"
+#include "concealer/data_provider.h"
+#include "concealer/service_provider.h"
+#include "concealer/types.h"
+#include "workload/tpch_generator.h"
+#include "workload/wifi_generator.h"
+
+namespace concealer {
+namespace bench {
+
+/// Paper row counts are divided by CONCEALER_SCALE (default 100). All
+/// other parameters (grid cell duration ≈18 min, cid density, query mixes,
+/// winSecRange interval lengths) track the paper, so shapes — who wins, by
+/// roughly what factor — are preserved at reduced absolute size.
+uint64_t Scale();
+
+/// Reps per timed query (default 5; CONCEALER_REPS env overrides).
+int Reps();
+
+struct WifiDataset {
+  ConcealerConfig config;
+  WifiConfig wifi;
+  std::vector<PlainTuple> tuples;
+  std::string name;
+};
+
+/// The paper's two WiFi datasets: small = 26M rows / 44 days,
+/// large = 136M rows / 202 days (row counts divided by Scale()).
+WifiDataset MakeWifiDataset(bool large);
+
+struct Pipeline {
+  ConcealerConfig config;
+  std::unique_ptr<DataProvider> dp;
+  std::unique_ptr<ServiceProvider> sp;
+  std::unique_ptr<CleartextDb> oracle;  // Indexed; null if !build_oracle.
+  double encrypt_seconds = 0;
+  double ingest_seconds = 0;
+  uint64_t encrypted_rows = 0;
+};
+
+/// Encrypts + ingests a dataset end to end. Prints progress to stderr.
+Pipeline BuildPipeline(const WifiDataset& dataset, bool build_oracle);
+
+/// TPC-H pipeline for Exp 8 (2D or 4D index over LineItem).
+struct TpchPipeline {
+  ConcealerConfig config;
+  std::vector<LineItem> items;
+  std::unique_ptr<DataProvider> dp;
+  std::unique_ptr<ServiceProvider> sp;
+};
+TpchPipeline BuildTpch(bool four_d);
+
+/// Average wall-clock seconds of `reps` executions of `query`.
+double TimeQuery(ServiceProvider* sp, const Query& query, int reps);
+double TimeCleartext(const CleartextDb* db, const Query& query, int reps);
+
+/// The paper's Q1-Q5 (Table 4) with the default 20-minute range starting
+/// at `range_start`. Q2-Q5 "use more locations" (paper Exp 2): they take
+/// `extra_locations` explicit key values.
+std::vector<Query> PaperQueries(const WifiDataset& dataset,
+                                uint64_t range_start, uint64_t range_minutes,
+                                size_t extra_locations);
+
+/// Deterministic point-query timestamps/locations spread over a dataset.
+std::vector<Query> RandomPointQueries(const WifiDataset& dataset, int count,
+                                      uint64_t seed);
+
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+void PrintFooter();
+
+}  // namespace bench
+}  // namespace concealer
+
+#endif  // CONCEALER_BENCH_BENCH_UTIL_H_

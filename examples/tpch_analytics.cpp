@@ -1,0 +1,78 @@
+// Non-time-series usage (paper §9.1 Dataset 2): OLAP-style aggregates over
+// an encrypted TPC-H LineItem table with multi-attribute grid indexes.
+//
+// Demonstrates that the same pipeline serves ordinary relational data: a
+// 2D ⟨Orderkey, Linenumber⟩ index answers count/sum/min/max over the
+// quantity column, all volume-hidden.
+//
+// Build: cmake --build build && ./build/examples/tpch_analytics
+
+#include <cstdio>
+
+#include "concealer/data_provider.h"
+#include "concealer/service_provider.h"
+#include "workload/tpch_generator.h"
+
+using namespace concealer;  // Example code; library code never does this.
+
+int main() {
+  TpchConfig tpch;
+  tpch.total_rows = 30000;
+  TpchGenerator generator(tpch);
+  const std::vector<LineItem> items = generator.Generate();
+  const std::vector<PlainTuple> tuples = TpchGenerator::ToTuples2D(items);
+
+  ConcealerConfig config;
+  config.key_buckets = {112, 7};  // Paper's 2D grid shape, scaled.
+  config.key_domains = {generator.orderkey_domain(), 8};
+  config.time_buckets = 0;  // No time axis: plain relational data.
+  config.num_cell_ids = 400;
+  config.time_quantum = 1;
+
+  DataProvider dp(config, Bytes(32, 0x33));
+  ServiceProvider sp(config, dp.shared_secret());
+  auto epochs = dp.EncryptAll(tuples);
+  if (!epochs.ok()) {
+    std::printf("encrypt failed: %s\n", epochs.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& e : *epochs) {
+    if (!sp.IngestEpoch(e).ok()) return 1;
+  }
+  std::printf("encrypted LineItem: %llu stored rows (real + fakes)\n\n",
+              (unsigned long long)sp.table().num_rows());
+
+  auto run = [&](const char* label, Aggregate agg, uint64_t ok, uint64_t ln) {
+    Query q;
+    q.agg = agg;
+    q.key_values = {{ok, ln}};
+    q.time_lo = q.time_hi = 0;
+    auto r = sp.Execute(q);
+    if (!r.ok()) {
+      std::printf("%s failed: %s\n", label, r.status().ToString().c_str());
+      return;
+    }
+    std::printf("%-28s = %8llu   (fetched %llu rows, %llu matched)\n",
+                label, (unsigned long long)r->count,
+                (unsigned long long)r->rows_fetched,
+                (unsigned long long)r->rows_matched);
+  };
+
+  const LineItem& probe = items[123];
+  std::printf("Queries on (OK=%llu, LN=%llu):\n",
+              (unsigned long long)probe.orderkey,
+              (unsigned long long)probe.linenumber);
+  run("count(quantity)", Aggregate::kCount, probe.orderkey, probe.linenumber);
+  run("sum(quantity)", Aggregate::kSum, probe.orderkey, probe.linenumber);
+  run("min(quantity)", Aggregate::kMin, probe.orderkey, probe.linenumber);
+  run("max(quantity)", Aggregate::kMax, probe.orderkey, probe.linenumber);
+
+  std::printf("\nQueries on a key with no rows (volume unchanged):\n");
+  run("count(quantity)", Aggregate::kCount, 6, 1);  // Sparse-gap orderkey.
+
+  std::printf("\nNote: count queries match ciphertext filters only; "
+              "sum/min/max additionally\ndecrypt matched rows inside the "
+              "enclave (the paper's Exp 8 observation that\ncounts run "
+              "~36-40%% faster).\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+#include "baseline/cleartext_db.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "concealer/wire.h"
+
+namespace concealer {
+
+void CleartextDb::Insert(const std::vector<PlainTuple>& tuples) {
+  tuples_.insert(tuples_.end(), tuples.begin(), tuples.end());
+}
+
+void CleartextDb::Insert(PlainTuple tuple) {
+  tuples_.push_back(std::move(tuple));
+}
+
+bool CleartextDb::MatchesTime(const PlainTuple& t, const Query& q) const {
+  const uint64_t qt = t.time / time_quantum_ * time_quantum_;
+  const uint64_t lo = q.time_lo / time_quantum_ * time_quantum_;
+  const uint64_t hi = q.time_hi / time_quantum_ * time_quantum_;
+  return qt >= lo && qt <= hi;
+}
+
+namespace {
+std::string IndexKey(const std::vector<uint64_t>& keys, uint64_t qtime) {
+  std::string out;
+  for (uint64_t k : keys) {
+    out.append(reinterpret_cast<const char*>(&k), sizeof(k));
+  }
+  out.append(reinterpret_cast<const char*>(&qtime), sizeof(qtime));
+  return out;
+}
+}  // namespace
+
+void CleartextDb::BuildIndex() {
+  index_.clear();
+  for (uint32_t i = 0; i < tuples_.size(); ++i) {
+    const PlainTuple& t = tuples_[i];
+    index_[IndexKey(t.keys, t.time / time_quantum_ * time_quantum_)]
+        .push_back(i);
+  }
+  index_built_ = true;
+}
+
+bool CleartextDb::CanUseIndex(const Query& q) const {
+  if (!index_built_ || q.key_values.empty()) return false;
+  return q.agg == Aggregate::kCount || q.agg == Aggregate::kSum ||
+         q.agg == Aggregate::kMin || q.agg == Aggregate::kMax;
+}
+
+StatusOr<QueryResult> CleartextDb::ExecuteIndexed(const Query& q) const {
+  QueryResult result;
+  uint64_t min_v = std::numeric_limits<uint64_t>::max();
+  uint64_t max_v = 0;
+  uint64_t sum_v = 0;
+  const uint64_t lo = q.time_lo / time_quantum_ * time_quantum_;
+  const uint64_t hi = q.time_hi / time_quantum_ * time_quantum_;
+  for (const auto& kv : q.key_values) {
+    for (uint64_t t = lo; t <= hi; t += time_quantum_) {
+      auto it = index_.find(IndexKey(kv, t));
+      if (it == index_.end()) continue;
+      for (uint32_t idx : it->second) {
+        const PlainTuple& tuple = tuples_[idx];
+        if (!q.observation.empty() && tuple.observation != q.observation) {
+          continue;
+        }
+        ++result.rows_matched;
+        ++result.count;
+        const uint64_t v = PayloadValue(tuple);
+        sum_v += v;
+        min_v = std::min(min_v, v);
+        max_v = std::max(max_v, v);
+      }
+    }
+  }
+  if (q.agg == Aggregate::kSum) result.count = sum_v;
+  if (q.agg == Aggregate::kMin) {
+    result.count = result.rows_matched == 0 ? 0 : min_v;
+  }
+  if (q.agg == Aggregate::kMax) {
+    result.count = result.rows_matched == 0 ? 0 : max_v;
+  }
+  return result;
+}
+
+StatusOr<QueryResult> CleartextDb::Execute(const Query& query) const {
+  if (CanUseIndex(query)) return ExecuteIndexed(query);
+  QueryResult result;
+  // Grouped accumulation keyed by the tuple's key coordinates. For grouped
+  // aggregates (Q2-Q4) the grouping key is the tuple key vector.
+  std::map<std::vector<uint64_t>, uint64_t> group_counts;
+  uint64_t min_v = std::numeric_limits<uint64_t>::max();
+  uint64_t max_v = 0;
+  uint64_t sum_v = 0;
+
+  const bool any_key = query.key_values.empty();
+  for (const PlainTuple& t : tuples_) {
+    if (!MatchesTime(t, query)) continue;
+    if (!any_key) {
+      bool key_ok = false;
+      for (const auto& kv : query.key_values) {
+        if (kv == t.keys) {
+          key_ok = true;
+          break;
+        }
+      }
+      if (!key_ok) continue;
+    }
+    const bool obs_ok =
+        query.observation.empty() || t.observation == query.observation;
+    if (query.agg == Aggregate::kKeysWithObservation) {
+      // Q4 matches on the observation predicate only.
+      if (t.observation != query.observation) continue;
+    } else if (!obs_ok) {
+      continue;
+    }
+    ++result.rows_matched;
+    ++result.count;
+    group_counts[t.keys] += 1;
+    const uint64_t v = PayloadValue(t);
+    sum_v += v;
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+
+  switch (query.agg) {
+    case Aggregate::kCount:
+      break;  // result.count already holds the answer.
+    case Aggregate::kSum:
+      result.count = sum_v;
+      break;
+    case Aggregate::kMin:
+      result.count = result.rows_matched == 0 ? 0 : min_v;
+      break;
+    case Aggregate::kMax:
+      result.count = result.rows_matched == 0 ? 0 : max_v;
+      break;
+    case Aggregate::kTopK: {
+      std::vector<std::pair<std::vector<uint64_t>, uint64_t>> all(
+          group_counts.begin(), group_counts.end());
+      std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;  // Deterministic tie-break.
+      });
+      if (all.size() > query.k) all.resize(query.k);
+      result.keyed_counts = std::move(all);
+      break;
+    }
+    case Aggregate::kThresholdKeys: {
+      for (const auto& [keys, count] : group_counts) {
+        if (count >= query.threshold) result.keyed_counts.emplace_back(keys,
+                                                                       count);
+      }
+      break;
+    }
+    case Aggregate::kKeysWithObservation: {
+      for (const auto& [keys, count] : group_counts) {
+        result.keyed_counts.emplace_back(keys, count);
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace concealer

@@ -1,0 +1,56 @@
+#ifndef CONCEALER_BASELINE_CLEARTEXT_DB_H_
+#define CONCEALER_BASELINE_CLEARTEXT_DB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "concealer/types.h"
+
+namespace concealer {
+
+/// Plaintext reference database: executes the same query surface directly
+/// over cleartext tuples. Serves two roles:
+///  1. The "cleartext processing" baseline of Exp 2 / Table 5.
+///  2. The correctness oracle for integration tests — Concealer must return
+///     byte-identical answers.
+///
+/// Matching semantics mirror the enclave's filter generation: time
+/// predicates compare at `time_quantum` granularity (a tuple matches a
+/// range iff its quantized timestamp falls between the quantized bounds),
+/// exactly as the E_k(l‖t) filters do.
+class CleartextDb {
+ public:
+  explicit CleartextDb(uint64_t time_quantum = 60)
+      : time_quantum_(time_quantum == 0 ? 1 : time_quantum) {}
+
+  void Insert(const std::vector<PlainTuple>& tuples);
+  void Insert(PlainTuple tuple);
+
+  /// Builds a hash index over (keys, quantized time) — the stand-in for the
+  /// paper's cleartext MySQL B-tree. Point/range aggregates with explicit
+  /// key predicates then run in sublinear time; other queries fall back to
+  /// the scan path. Call after the last Insert.
+  void BuildIndex();
+
+  /// Executes a query; `method`, `oblivious` and `verify` fields are
+  /// ignored (there is nothing to hide or verify in cleartext).
+  StatusOr<QueryResult> Execute(const Query& query) const;
+
+  uint64_t size() const { return tuples_.size(); }
+
+ private:
+  bool MatchesTime(const PlainTuple& t, const Query& q) const;
+  bool CanUseIndex(const Query& q) const;
+  StatusOr<QueryResult> ExecuteIndexed(const Query& q) const;
+
+  uint64_t time_quantum_;
+  std::vector<PlainTuple> tuples_;
+  bool index_built_ = false;
+  std::unordered_map<std::string, std::vector<uint32_t>> index_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_BASELINE_CLEARTEXT_DB_H_

@@ -1,0 +1,62 @@
+#include "baseline/opaque_scan.h"
+
+#include <algorithm>
+
+#include "baseline/cleartext_db.h"
+#include "concealer/wire.h"
+#include "crypto/det_cipher.h"
+
+namespace concealer {
+
+StatusOr<QueryResult> OpaqueScanBaseline::Execute(
+    const std::vector<EpochRowRange>& epochs, const Query& query) const {
+  // Decrypt the full table into the enclave, then evaluate with the same
+  // reference semantics as the cleartext engine (which is exactly what a
+  // scan-everything system computes once data is in plaintext).
+  std::vector<EpochRowRange> ranges = epochs;
+  std::sort(ranges.begin(), ranges.end(),
+            [](const EpochRowRange& a, const EpochRowRange& b) {
+              return a.first_row_id < b.first_row_id;
+            });
+  std::vector<DetCipher> ciphers;
+  ciphers.reserve(ranges.size());
+  for (const EpochRowRange& range : ranges) {
+    StatusOr<DetCipher> det = enclave_->EpochDetCipher(range.epoch_id);
+    if (!det.ok()) return det.status();
+    ciphers.push_back(std::move(*det));
+  }
+
+  CleartextDb oracle(config_.time_quantum);
+  uint64_t rows_scanned = 0;
+  uint64_t row_id = 0;
+  size_t cursor = 0;  // Ranges are contiguous and scanned in order.
+  Status scan_status;
+  table_->Scan([&](const Row& row) {
+    const uint64_t id = row_id++;
+    while (cursor < ranges.size() &&
+           id >= ranges[cursor].first_row_id + ranges[cursor].num_rows) {
+      ++cursor;
+    }
+    if (cursor >= ranges.size() || id < ranges[cursor].first_row_id) {
+      return true;  // Row outside any known epoch span.
+    }
+    ++rows_scanned;
+    StatusOr<Bytes> er = ciphers[cursor].Decrypt(row.columns[kColEr]);
+    if (!er.ok()) return true;  // Fake tuple: skip inside the enclave.
+    StatusOr<PlainTuple> tuple = ParseTuplePlain(*er);
+    if (!tuple.ok()) {
+      scan_status = tuple.status();
+      return false;
+    }
+    oracle.Insert(std::move(*tuple));
+    return true;
+  });
+  if (!scan_status.ok()) return scan_status;
+
+  StatusOr<QueryResult> result = oracle.Execute(query);
+  if (!result.ok()) return result.status();
+  result->rows_fetched = rows_scanned;
+  return result;
+}
+
+}  // namespace concealer

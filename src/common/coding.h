@@ -1,0 +1,67 @@
+#ifndef CONCEALER_COMMON_CODING_H_
+#define CONCEALER_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace concealer {
+
+/// Little-endian fixed-width integer encoding helpers (RocksDB-style).
+/// Used when serializing tuples, counters and hash-chain inputs so that the
+/// byte layout is platform independent.
+
+inline void PutFixed32(Bytes* dst, uint32_t v) {
+  dst->push_back(static_cast<uint8_t>(v));
+  dst->push_back(static_cast<uint8_t>(v >> 8));
+  dst->push_back(static_cast<uint8_t>(v >> 16));
+  dst->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+inline void PutFixed64(Bytes* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline uint32_t DecodeFixed32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline uint64_t DecodeFixed64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Appends a length-prefixed byte string, so concatenated fields cannot be
+/// confused (e.g. `l || t` is unambiguous even when `l` varies in length).
+inline void PutLengthPrefixed(Bytes* dst, Slice s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->insert(dst->end(), s.data(), s.data() + s.size());
+}
+
+/// Reads a length-prefixed byte string written by PutLengthPrefixed.
+/// Returns false on truncated input. Advances `*offset` past the field.
+inline bool GetLengthPrefixed(Slice src, size_t* offset, Bytes* out) {
+  if (*offset + 4 > src.size()) return false;
+  uint32_t len = DecodeFixed32(src.data() + *offset);
+  *offset += 4;
+  if (*offset + len > src.size()) return false;
+  out->assign(src.data() + *offset, src.data() + *offset + len);
+  *offset += len;
+  return true;
+}
+
+/// Appends raw bytes.
+inline void PutBytes(Bytes* dst, Slice s) {
+  dst->insert(dst->end(), s.data(), s.data() + s.size());
+}
+
+}  // namespace concealer
+
+#endif  // CONCEALER_COMMON_CODING_H_

@@ -1,0 +1,20 @@
+#ifndef CONCEALER_COMMON_HEX_H_
+#define CONCEALER_COMMON_HEX_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace concealer {
+
+/// Lowercase hex encoding of a byte range (for logging and test vectors).
+std::string HexEncode(Slice data);
+
+/// Decodes a hex string (case-insensitive). Fails on odd length or
+/// non-hex characters.
+StatusOr<Bytes> HexDecode(const std::string& hex);
+
+}  // namespace concealer
+
+#endif  // CONCEALER_COMMON_HEX_H_

@@ -1,0 +1,69 @@
+#ifndef CONCEALER_COMMON_RANDOM_H_
+#define CONCEALER_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace concealer {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**).
+/// Used throughout workload generation and tests so that every run is
+/// reproducible. Not a CSPRNG — cryptographic randomness comes from
+/// crypto/rand_cipher.h key-stream derivation instead.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Fills `n` random bytes.
+  void FillBytes(uint8_t* out, size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed sampler over {0, 1, ..., n-1} with exponent `theta`.
+/// Rank 0 is the most popular item. Used to model the skewed per-location
+/// popularity of the WiFi dataset (paper §9.1: min ≈6K vs max ≈50K rows/h).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Sample();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_COMMON_RANDOM_H_

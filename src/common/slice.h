@@ -1,0 +1,68 @@
+#ifndef CONCEALER_COMMON_SLICE_H_
+#define CONCEALER_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace concealer {
+
+/// Non-owning view over a contiguous byte range, in the style of
+/// rocksdb::Slice. The referenced storage must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  Slice(const std::string& s)  // NOLINT: implicit by design.
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  Slice(const std::vector<uint8_t>& v)  // NOLINT: implicit by design.
+      : data_(v.data()), size_(v.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Lexicographic byte comparison: <0, 0, >0 like memcmp.
+  int Compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) r = -1;
+      else if (size_ > other.size_) r = 1;
+    }
+    return r;
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  std::vector<uint8_t> ToBytes() const {
+    return std::vector<uint8_t>(data_, data_ + size_);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.Compare(b) < 0;
+}
+
+/// Owned byte string used pervasively for keys, ciphertexts and digests.
+using Bytes = std::vector<uint8_t>;
+
+}  // namespace concealer
+
+#endif  // CONCEALER_COMMON_SLICE_H_

@@ -1,0 +1,31 @@
+#ifndef CONCEALER_COMMON_TIMER_H_
+#define CONCEALER_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace concealer {
+
+/// Wall-clock stopwatch used by the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(ElapsedSeconds() * 1e6);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_COMMON_TIMER_H_

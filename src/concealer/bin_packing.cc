@@ -1,0 +1,141 @@
+#include "concealer/bin_packing.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace concealer {
+
+namespace {
+
+struct Item {
+  uint32_t cell_id;
+  uint32_t weight;
+};
+
+// Shared FFD/BFD core. Items must be sorted by decreasing weight.
+std::vector<Bin> Pack(const std::vector<Item>& items, uint32_t capacity,
+                      PackAlgorithm algo) {
+  std::vector<Bin> bins;
+  std::vector<uint32_t> free_space;  // Parallel to bins.
+  for (const Item& item : items) {
+    size_t chosen = bins.size();
+    if (algo == PackAlgorithm::kFirstFitDecreasing) {
+      for (size_t b = 0; b < bins.size(); ++b) {
+        if (free_space[b] >= item.weight) {
+          chosen = b;
+          break;
+        }
+      }
+    } else {  // Best fit: tightest bin that still fits.
+      uint32_t best_left = 0;
+      bool found = false;
+      for (size_t b = 0; b < bins.size(); ++b) {
+        if (free_space[b] >= item.weight &&
+            (!found || free_space[b] - item.weight < best_left)) {
+          best_left = free_space[b] - item.weight;
+          chosen = b;
+          found = true;
+        }
+      }
+    }
+    if (chosen == bins.size()) {
+      bins.emplace_back();
+      free_space.push_back(capacity);
+    }
+    bins[chosen].cell_ids.push_back(item.cell_id);
+    bins[chosen].real_tuples += item.weight;
+    free_space[chosen] -= item.weight;
+  }
+  return bins;
+}
+
+}  // namespace
+
+StatusOr<BinPlan> MakeBinPlan(const std::vector<uint32_t>& c_tuple,
+                              PackAlgorithm algo) {
+  if (c_tuple.empty()) {
+    return Status::InvalidArgument("no cell-ids to pack");
+  }
+  const uint32_t bin_size = *std::max_element(c_tuple.begin(), c_tuple.end());
+  return MakeBinPlanWithSize(c_tuple, bin_size == 0 ? 1 : bin_size, algo);
+}
+
+StatusOr<BinPlan> MakeBinPlanWithSize(const std::vector<uint32_t>& c_tuple,
+                                      uint32_t bin_size, PackAlgorithm algo) {
+  if (c_tuple.empty()) {
+    return Status::InvalidArgument("no cell-ids to pack");
+  }
+  if (bin_size == 0) {
+    return Status::InvalidArgument("bin size must be positive");
+  }
+  std::vector<Item> items(c_tuple.size());
+  for (uint32_t cid = 0; cid < c_tuple.size(); ++cid) {
+    items[cid] = {cid, c_tuple[cid]};
+    if (c_tuple[cid] > bin_size) {
+      return Status::InvalidArgument(
+          "cell-id weight exceeds bin size (inputs are unsplittable)");
+    }
+  }
+  // Decreasing weight; ties broken by cell-id for determinism across DP and
+  // the enclave.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.cell_id < b.cell_id;
+  });
+
+  BinPlan plan;
+  plan.bin_size = bin_size;
+  plan.bins = Pack(items, bin_size, algo);
+
+  // Equi-size every bin with a disjoint fake-id range (paper §4.1,
+  // "Equi-sized bins"). Fake ids are 1-based to match E_k(f ‖ j), j >= 1.
+  uint64_t next_fake_id = 1;
+  for (Bin& bin : plan.bins) {
+    bin.fake_count = bin_size - bin.real_tuples;
+    bin.fake_id_lo = next_fake_id;
+    next_fake_id += bin.fake_count;
+    plan.total_fakes += bin.fake_count;
+  }
+
+  plan.bin_of_cell_id.assign(c_tuple.size(), 0);
+  for (uint32_t b = 0; b < plan.bins.size(); ++b) {
+    for (uint32_t cid : plan.bins[b].cell_ids) {
+      plan.bin_of_cell_id[cid] = b;
+    }
+  }
+  return plan;
+}
+
+Status CheckTheorem41(const BinPlan& plan, uint64_t n_real) {
+  const uint64_t b = plan.bin_size;
+  // "The number of bins ... at most 2n/|b|": FFD/BFD leave at most one bin
+  // under half-full, so allow the +1 tail bin (and the degenerate n < |b|
+  // case needs at least one bin).
+  const uint64_t max_bins = 2 * n_real / b + 1;
+  if (plan.bins.size() > max_bins) {
+    return Status::Internal("bin count exceeds Theorem 4.1 bound");
+  }
+  // "The number of fake tuples ... at most n + |b|/2."
+  if (plan.total_fakes > n_real + b / 2 + b) {
+    // The extra |b| slack covers the all-zero-weight tail bin that the
+    // theorem's n >> |b| asymptotic regime ignores.
+    return Status::Internal("fake count exceeds Theorem 4.1 bound");
+  }
+  // Structural: every bin exactly bin_size when fakes are included.
+  for (const Bin& bin : plan.bins) {
+    if (bin.real_tuples + bin.fake_count != plan.bin_size) {
+      return Status::Internal("bin not equi-sized");
+    }
+  }
+  // Fake ranges disjoint and contiguous from 1.
+  uint64_t expect = 1;
+  for (const Bin& bin : plan.bins) {
+    if (bin.fake_count > 0 && bin.fake_id_lo != expect) {
+      return Status::Internal("fake id ranges not disjoint/contiguous");
+    }
+    expect += bin.fake_count;
+  }
+  return Status::OK();
+}
+
+}  // namespace concealer

@@ -1,0 +1,59 @@
+#ifndef CONCEALER_CONCEALER_BIN_PACKING_H_
+#define CONCEALER_CONCEALER_BIN_PACKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace concealer {
+
+/// One retrieval bin (paper §4.1): a set of cell-ids whose combined tuple
+/// count is at most the bin size, padded with a *disjoint* range of fake
+/// tuple ids so every bin fetch returns exactly `bin_size` rows
+/// (Example 4.1 shows why fake ranges must not be shared across bins).
+struct Bin {
+  std::vector<uint32_t> cell_ids;
+  uint32_t real_tuples = 0;
+  uint32_t fake_count = 0;   // bin_size - real_tuples.
+  uint64_t fake_id_lo = 0;   // Fake ids [fake_id_lo, fake_id_lo+fake_count).
+};
+
+/// Complete bin layout for one epoch: identical-size bins covering every
+/// cell-id exactly once. Built identically inside the enclave (Alg. 2
+/// Step 0) and — for fake-tuple method (ii) — simulated at DP to learn how
+/// many fakes to ship.
+struct BinPlan {
+  uint32_t bin_size = 0;
+  std::vector<Bin> bins;
+  uint64_t total_fakes = 0;
+  /// cell-id -> index into `bins`.
+  std::vector<uint32_t> bin_of_cell_id;
+};
+
+enum class PackAlgorithm { kFirstFitDecreasing, kBestFitDecreasing };
+
+/// Packs cell-ids (weight = tuple count from c_tuple) into bins of capacity
+/// `max(c_tuple)` using FFD or BFD, then equalizes bin sizes with disjoint
+/// fake-id ranges. Zero-weight cell-ids are still placed (queries may
+/// target empty cells and their bin fetch must look identical).
+///
+/// Guarantees Theorem 4.1's bounds, which `CheckTheorem41` re-verifies:
+///   #bins  <= ceil(2n / |b|) (+1 for the tail bin)
+///   #fakes <= n + |b|/2      for n = sum of weights.
+StatusOr<BinPlan> MakeBinPlan(const std::vector<uint32_t>& c_tuple,
+                              PackAlgorithm algo);
+
+/// Like MakeBinPlan but with an explicit bin capacity (used by eBPB and
+/// winSecRange, which size bins from range statistics instead of the max
+/// single-cell-id weight). Fails if any weight exceeds `bin_size`.
+StatusOr<BinPlan> MakeBinPlanWithSize(const std::vector<uint32_t>& c_tuple,
+                                      uint32_t bin_size, PackAlgorithm algo);
+
+/// Validates Theorem 4.1's upper bounds against a plan; used by tests and
+/// by DP as a self-check before shipping fakes.
+Status CheckTheorem41(const BinPlan& plan, uint64_t n_real);
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CONCEALER_BIN_PACKING_H_

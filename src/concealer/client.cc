@@ -1,0 +1,28 @@
+#include "concealer/client.h"
+
+#include "concealer/wire.h"
+#include "crypto/kdf.h"
+#include "crypto/rand_cipher.h"
+#include "enclave/registry.h"
+
+namespace concealer {
+
+Client::Client(std::string user_id, Bytes secret)
+    : user_id_(std::move(user_id)), secret_(std::move(secret)) {
+  proof_ = Registry::MakeProof(secret_, user_id_);
+}
+
+StatusOr<QueryResult> Client::Run(ServiceProvider* sp,
+                                  const Query& query) const {
+  StatusOr<Bytes> blob = sp->ExecuteForUser(user_id_, proof_, query);
+  if (!blob.ok()) return blob.status();
+
+  RandCipher cipher;
+  CONCEALER_RETURN_IF_ERROR(cipher.SetKey(
+      DeriveKey(proof_, "concealer.result", Slice(user_id_))));
+  StatusOr<Bytes> plain = cipher.Decrypt(*blob);
+  if (!plain.ok()) return plain.status();
+  return DeserializeQueryResult(*plain);
+}
+
+}  // namespace concealer

@@ -1,0 +1,36 @@
+#ifndef CONCEALER_CONCEALER_CLIENT_H_
+#define CONCEALER_CONCEALER_CLIENT_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "concealer/service_provider.h"
+#include "concealer/types.h"
+
+namespace concealer {
+
+/// The user / data consumer U (paper §2.1): holds a personal secret,
+/// authenticates to the enclave with a registry-backed proof (Phase 2),
+/// and decrypts the enclave's answer (Phase 4).
+class Client {
+ public:
+  Client(std::string user_id, Bytes secret);
+
+  const std::string& user_id() const { return user_id_; }
+
+  /// The authentication proof presented with every query.
+  const Bytes& proof() const { return proof_; }
+
+  /// Submits a query end to end: authenticate, execute, decrypt the answer.
+  StatusOr<QueryResult> Run(ServiceProvider* sp, const Query& query) const;
+
+ private:
+  std::string user_id_;
+  Bytes secret_;
+  Bytes proof_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CONCEALER_CLIENT_H_

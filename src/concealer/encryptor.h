@@ -1,0 +1,56 @@
+#ifndef CONCEALER_CONCEALER_ENCRYPTOR_H_
+#define CONCEALER_CONCEALER_ENCRYPTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "concealer/bin_packing.h"
+#include "concealer/types.h"
+#include "crypto/grid_hash.h"
+
+namespace concealer {
+
+/// The data provider's epoch encryption pipeline — Algorithm 1 of the paper:
+///
+///   Stage 1 (setup):   grid creation + cell-id allocation (see Grid).
+///   Stage 2 (encrypt): per-tuple DET encryption, per-cell-id counters,
+///                      hash-chain construction, fake-tuple generation.
+///   Stage 3 (share):   permute real+fake rows and encrypt the cell_id /
+///                      c_tuple vectors and verifiable tags with the
+///                      epoch's randomized cipher.
+///
+/// Timestamp handling: El/Eo use the quantized timestamp (the granularity
+/// at which the enclave enumerates filters); Er keeps the exact timestamp.
+class EpochEncryptor {
+ public:
+  /// `sk` is the 32-byte secret shared with the enclave.
+  EpochEncryptor(const ConcealerConfig& config, Bytes sk);
+
+  /// Runs Algorithm 1 over one epoch's tuples. Every tuple's timestamp must
+  /// lie in [epoch_start, epoch_start + config.epoch_seconds) when the grid
+  /// has a time axis.
+  StatusOr<EncryptedEpoch> EncryptEpoch(
+      uint64_t epoch_id, uint64_t epoch_start,
+      const std::vector<PlainTuple>& tuples) const;
+
+  const ConcealerConfig& config() const { return config_; }
+
+  /// Packing algorithm shared with the enclave — must match what the
+  /// enclave's RangePlanner derives from the same config, or DP's simulated
+  /// fake demand diverges from the bins the enclave builds.
+  PackAlgorithm pack_algorithm() const {
+    return config_.use_bfd ? PackAlgorithm::kBestFitDecreasing
+                           : PackAlgorithm::kFirstFitDecreasing;
+  }
+
+ private:
+  ConcealerConfig config_;
+  Bytes sk_;
+  GridHash hash_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CONCEALER_ENCRYPTOR_H_

@@ -1,0 +1,152 @@
+#include "concealer/epoch_io.h"
+
+#include <cstdio>
+
+#include "common/coding.h"
+
+namespace concealer {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x434f4e43;  // "CONC".
+constexpr uint32_t kVersion = 1;
+
+// FNV-1a over the framed payload: a cheap transport checksum (content
+// integrity is cryptographic, see header).
+uint64_t Fnv1a(Slice data) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Bytes SerializeEpoch(const EncryptedEpoch& epoch) {
+  Bytes body;
+  PutFixed64(&body, epoch.epoch_id);
+  PutFixed64(&body, epoch.epoch_start);
+  PutFixed64(&body, epoch.num_real_tuples);
+  PutFixed64(&body, epoch.num_fake_tuples);
+  PutLengthPrefixed(&body, epoch.enc_grid_layout);
+  PutLengthPrefixed(&body, epoch.enc_verification_tags);
+  PutFixed64(&body, epoch.rows.size());
+  for (const Row& row : epoch.rows) {
+    PutFixed32(&body, static_cast<uint32_t>(row.columns.size()));
+    for (const Bytes& col : row.columns) {
+      PutLengthPrefixed(&body, col);
+    }
+  }
+
+  Bytes out;
+  PutFixed32(&out, kMagic);
+  PutFixed32(&out, kVersion);
+  PutFixed64(&out, Fnv1a(body));
+  PutFixed64(&out, body.size());
+  PutBytes(&out, body);
+  return out;
+}
+
+StatusOr<EncryptedEpoch> DeserializeEpoch(Slice data) {
+  if (data.size() < 24) return Status::Corruption("epoch blob too short");
+  size_t off = 0;
+  if (DecodeFixed32(data.data()) != kMagic) {
+    return Status::Corruption("bad epoch magic");
+  }
+  off += 4;
+  const uint32_t version = DecodeFixed32(data.data() + off);
+  off += 4;
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported epoch format version " +
+                                   std::to_string(version));
+  }
+  const uint64_t checksum = DecodeFixed64(data.data() + off);
+  off += 8;
+  const uint64_t body_len = DecodeFixed64(data.data() + off);
+  off += 8;
+  if (off + body_len != data.size()) {
+    return Status::Corruption("epoch blob length mismatch");
+  }
+  const Slice body(data.data() + off, body_len);
+  if (Fnv1a(body) != checksum) {
+    return Status::Corruption("epoch blob checksum mismatch");
+  }
+
+  EncryptedEpoch epoch;
+  size_t boff = 0;
+  if (body.size() < 32) return Status::Corruption("epoch body truncated");
+  epoch.epoch_id = DecodeFixed64(body.data());
+  epoch.epoch_start = DecodeFixed64(body.data() + 8);
+  epoch.num_real_tuples = DecodeFixed64(body.data() + 16);
+  epoch.num_fake_tuples = DecodeFixed64(body.data() + 24);
+  boff = 32;
+  if (!GetLengthPrefixed(body, &boff, &epoch.enc_grid_layout) ||
+      !GetLengthPrefixed(body, &boff, &epoch.enc_verification_tags)) {
+    return Status::Corruption("epoch body truncated in blobs");
+  }
+  if (boff + 8 > body.size()) {
+    return Status::Corruption("epoch body truncated at row count");
+  }
+  const uint64_t num_rows = DecodeFixed64(body.data() + boff);
+  boff += 8;
+  epoch.rows.reserve(num_rows);
+  for (uint64_t r = 0; r < num_rows; ++r) {
+    if (boff + 4 > body.size()) {
+      return Status::Corruption("epoch body truncated in rows");
+    }
+    const uint32_t cols = DecodeFixed32(body.data() + boff);
+    boff += 4;
+    if (cols > 64) return Status::Corruption("implausible column count");
+    Row row;
+    row.columns.resize(cols);
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (!GetLengthPrefixed(body, &boff, &row.columns[c])) {
+        return Status::Corruption("epoch body truncated in row columns");
+      }
+    }
+    epoch.rows.push_back(std::move(row));
+  }
+  if (boff != body.size()) {
+    return Status::Corruption("trailing bytes after epoch body");
+  }
+  return epoch;
+}
+
+Status WriteEpochFile(const std::string& path, const EncryptedEpoch& epoch) {
+  const Bytes blob = SerializeEpoch(epoch);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open for write: " + path);
+  }
+  const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  const int rc = std::fclose(f);
+  if (written != blob.size() || rc != 0) {
+    return Status::Internal("short write: " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<EncryptedEpoch> ReadEpochFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for read: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot stat: " + path);
+  }
+  Bytes blob(static_cast<size_t>(size));
+  const size_t read = std::fread(blob.data(), 1, blob.size(), f);
+  std::fclose(f);
+  if (read != blob.size()) {
+    return Status::Internal("short read: " + path);
+  }
+  return DeserializeEpoch(blob);
+}
+
+}  // namespace concealer

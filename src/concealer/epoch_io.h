@@ -1,0 +1,31 @@
+#ifndef CONCEALER_CONCEALER_EPOCH_IO_H_
+#define CONCEALER_CONCEALER_EPOCH_IO_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "concealer/types.h"
+
+namespace concealer {
+
+/// Transfer format for the DP -> SP epoch shipment (paper Phase 1): a
+/// self-describing byte stream holding the permuted encrypted rows, the
+/// encrypted grid-layout vectors and the encrypted verifiable tags, with a
+/// magic header, a format version and a CRC-style integrity word over the
+/// framing (the *content* integrity is cryptographic — the hash chains and
+/// authenticated ciphers — this checksum only catches transport mangling).
+///
+/// This is what would travel over the wire or land in an object store in a
+/// deployment; the file helpers let examples and operators move epochs
+/// between machines.
+Bytes SerializeEpoch(const EncryptedEpoch& epoch);
+StatusOr<EncryptedEpoch> DeserializeEpoch(Slice data);
+
+/// Convenience file transport.
+Status WriteEpochFile(const std::string& path, const EncryptedEpoch& epoch);
+StatusOr<EncryptedEpoch> ReadEpochFile(const std::string& path);
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CONCEALER_EPOCH_IO_H_

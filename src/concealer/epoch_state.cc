@@ -1,0 +1,155 @@
+#include "concealer/epoch_state.h"
+
+#include <algorithm>
+#include <set>
+
+namespace concealer {
+
+StatusOr<EpochState> EpochState::Create(const Enclave& enclave,
+                                        const ConcealerConfig& config,
+                                        const EncryptedEpoch& epoch,
+                                        uint64_t first_row_id) {
+  EpochState state;
+  state.epoch_id_ = epoch.epoch_id;
+  state.epoch_start_ = epoch.epoch_start;
+  state.first_row_id_ = first_row_id;
+  state.num_rows_ = epoch.rows.size();
+  state.num_fakes_ = epoch.num_fake_tuples;
+  state.num_real_ = epoch.num_real_tuples;
+
+  StatusOr<Grid> grid = Grid::Create(config, &enclave.grid_hash(),
+                                     epoch.epoch_id, epoch.epoch_start);
+  if (!grid.ok()) return grid.status();
+  state.grid_.emplace(std::move(*grid));
+
+  StatusOr<Bytes> layout_blob =
+      enclave.DecryptEpochBlob(epoch.epoch_id, epoch.enc_grid_layout);
+  if (!layout_blob.ok()) return layout_blob.status();
+  StatusOr<GridLayout> layout = DeserializeGridLayout(*layout_blob);
+  if (!layout.ok()) return layout.status();
+  state.layout_ = std::move(*layout);
+
+  if (state.layout_.cell_of_cell_index.size() != state.grid_->num_cells() ||
+      state.layout_.count_per_cell_id.size() !=
+          state.grid_->num_cell_ids()) {
+    return Status::Corruption("grid layout shape mismatch");
+  }
+  // Cross-check: DP's cell-id allocation must match the enclave-side grid
+  // (both derive it from the shared secret).
+  for (uint32_t c = 0; c < state.grid_->num_cells(); ++c) {
+    if (state.layout_.cell_of_cell_index[c] != state.grid_->CellIdOf(c)) {
+      return Status::Corruption("cell-id allocation mismatch with DP");
+    }
+  }
+
+  if (!epoch.enc_verification_tags.empty()) {
+    StatusOr<Bytes> tags_blob = enclave.DecryptEpochBlob(
+        epoch.epoch_id, epoch.enc_verification_tags);
+    if (!tags_blob.ok()) return tags_blob.status();
+    StatusOr<VerificationTags> tags = DeserializeTags(*tags_blob);
+    if (!tags.ok()) return tags.status();
+    state.tags_ = std::move(*tags);
+  }
+  return state;
+}
+
+StatusOr<const BinPlan*> EpochState::GetBinPlan(PackAlgorithm algo) {
+  if (!bin_plan_.has_value()) {
+    StatusOr<BinPlan> plan = MakeBinPlan(layout_.count_per_cell_id, algo);
+    if (!plan.ok()) return plan.status();
+    bin_plan_.emplace(std::move(*plan));
+  }
+  return &*bin_plan_;
+}
+
+StatusOr<const EpochState::IntervalPlan*> EpochState::GetIntervalPlan(
+    uint32_t lambda) {
+  const uint32_t time_buckets = grid_->config().time_buckets;
+  if (lambda == 0 || (time_buckets > 0 && lambda > time_buckets)) {
+    return Status::InvalidArgument("bad winSecRange interval length");
+  }
+  auto it = interval_plans_.find(lambda);
+  if (it != interval_plans_.end()) return &it->second;
+
+  // Discretize the epoch's time buckets into fixed intervals of `lambda`
+  // buckets (paper §5.3); each interval's bin covers the distinct cell-ids
+  // of all cells (every key column) in those buckets.
+  IntervalPlan plan;
+  plan.lambda = lambda;
+  const uint32_t buckets = time_buckets == 0 ? 1 : time_buckets;
+  const uint32_t num_intervals = (buckets + lambda - 1) / lambda;
+  const uint32_t cells_per_bucket = grid_->num_cells() / buckets;
+
+  uint32_t max_real = 1;
+  for (uint32_t i = 0; i < num_intervals; ++i) {
+    std::set<uint32_t> cids;
+    const uint32_t b_lo = i * lambda;
+    const uint32_t b_hi = std::min(buckets, b_lo + lambda);
+    for (uint32_t b = b_lo; b < b_hi; ++b) {
+      for (uint32_t c = b * cells_per_bucket; c < (b + 1) * cells_per_bucket;
+           ++c) {
+        cids.insert(layout_.cell_of_cell_index[c]);
+      }
+    }
+    uint32_t real = 0;
+    for (uint32_t cid : cids) real += layout_.count_per_cell_id[cid];
+    max_real = std::max(max_real, real);
+    plan.interval_cell_ids.emplace_back(cids.begin(), cids.end());
+  }
+  plan.bin_size = max_real;
+  auto [inserted, _] = interval_plans_.emplace(lambda, std::move(plan));
+  return &inserted->second;
+}
+
+StatusOr<uint32_t> EpochState::GetEbpbBinSize(uint32_t num_cells) {
+  if (num_cells == 0) {
+    return Status::InvalidArgument("eBPB window must cover >= 1 cell");
+  }
+  auto it = ebpb_bin_sizes_.find(num_cells);
+  if (it != ebpb_bin_sizes_.end()) return it->second;
+
+  // Slide a window of `num_cells` consecutive time buckets down every key
+  // column; the window weight is the summed c_tuple of its *distinct*
+  // cell-ids. bin size = max over all columns and windows. Incremental
+  // refcounting keeps this O(num_cells) overall.
+  const uint32_t time_buckets = grid_->config().time_buckets;
+  const uint32_t buckets = time_buckets == 0 ? 1 : time_buckets;
+  const uint32_t window = std::min(num_cells, buckets);
+  const uint32_t key_cells = grid_->num_cells() / buckets;
+
+  uint32_t best = 1;
+  std::vector<uint32_t> refcount(layout_.count_per_cell_id.size(), 0);
+  for (uint32_t col = 0; col < key_cells; ++col) {
+    uint64_t weight = 0;
+    // Prime the first window.
+    for (uint32_t b = 0; b < window; ++b) {
+      const uint32_t cid = layout_.cell_of_cell_index[col + b * key_cells];
+      if (refcount[cid]++ == 0) weight += layout_.count_per_cell_id[cid];
+    }
+    best = std::max<uint32_t>(best, static_cast<uint32_t>(weight));
+    for (uint32_t start = 1; start + window <= buckets; ++start) {
+      const uint32_t out_cid =
+          layout_.cell_of_cell_index[col + (start - 1) * key_cells];
+      if (--refcount[out_cid] == 0) {
+        weight -= layout_.count_per_cell_id[out_cid];
+      }
+      const uint32_t in_cid =
+          layout_.cell_of_cell_index[col + (start + window - 1) * key_cells];
+      if (refcount[in_cid]++ == 0) {
+        weight += layout_.count_per_cell_id[in_cid];
+      }
+      best = std::max<uint32_t>(best, static_cast<uint32_t>(weight));
+    }
+    // Drain the final window so refcounts return to zero for the next
+    // column.
+    const uint32_t last_start = buckets >= window ? buckets - window : 0;
+    for (uint32_t b = last_start; b < last_start + window && b < buckets;
+         ++b) {
+      --refcount[layout_.cell_of_cell_index[col + b * key_cells]];
+    }
+  }
+  ebpb_bin_sizes_.emplace(num_cells, best);
+  return best;
+}
+
+}  // namespace concealer

@@ -1,0 +1,99 @@
+#ifndef CONCEALER_CONCEALER_EPOCH_STATE_H_
+#define CONCEALER_CONCEALER_EPOCH_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/status.h"
+#include "concealer/bin_packing.h"
+#include "concealer/grid.h"
+#include "concealer/types.h"
+#include "concealer/wire.h"
+#include "enclave/enclave.h"
+
+namespace concealer {
+
+/// Enclave-resident state for one ingested epoch/round: the decrypted grid
+/// layout vectors, verifiable tags, the lazily built bin plans of each query
+/// method, and the re-encryption counter of the dynamic-insertion path.
+/// This is the "meta-index kept at the trusted entity" (§6) — it never
+/// leaves the enclave in the model.
+class EpochState {
+ public:
+  /// Decodes an ingested epoch inside the enclave: rebuilds the grid from
+  /// the shared secret, decrypts the layout vectors and tags.
+  static StatusOr<EpochState> Create(const Enclave& enclave,
+                                     const ConcealerConfig& config,
+                                     const EncryptedEpoch& epoch,
+                                     uint64_t first_row_id);
+
+  uint64_t epoch_id() const { return epoch_id_; }
+  uint64_t epoch_start() const { return epoch_start_; }
+  const Grid& grid() const { return *grid_; }
+  const GridLayout& layout() const { return layout_; }
+  VerificationTags& tags() { return tags_; }
+  const VerificationTags& tags() const { return tags_; }
+
+  uint64_t reenc_counter() const { return reenc_counter_; }
+  void bump_reenc_counter() { ++reenc_counter_; }
+
+  /// Per-bin re-encryption key version (paper §6 footnote 7): bins touched
+  /// by the dynamic path get rewritten under k = KDF(sk, eid, version).
+  uint64_t bin_key_version(uint32_t bin_index) const {
+    auto it = bin_key_versions_.find(bin_index);
+    return it == bin_key_versions_.end() ? 0 : it->second;
+  }
+  void set_bin_key_version(uint32_t bin_index, uint64_t version) {
+    bin_key_versions_[bin_index] = version;
+  }
+
+  /// Contiguous row-id range this epoch occupies in the table (used by the
+  /// Opaque full-scan baseline and the dynamic path).
+  uint64_t first_row_id() const { return first_row_id_; }
+  uint64_t num_rows() const { return num_rows_; }
+  uint64_t num_fake_tuples() const { return num_fakes_; }
+  uint64_t num_real_tuples() const { return num_real_; }
+
+  /// BPB bin plan (Alg. 2 Step 0) — built on first use, cached.
+  StatusOr<const BinPlan*> GetBinPlan(PackAlgorithm algo);
+
+  /// winSecRange interval plan for window length `lambda` (in time
+  /// buckets): for each interval, the covered cell-ids and the common
+  /// (maximum) real-row volume. Cached per lambda.
+  struct IntervalPlan {
+    uint32_t lambda = 0;
+    uint32_t bin_size = 0;  // max real rows over intervals (volume unit).
+    std::vector<std::vector<uint32_t>> interval_cell_ids;
+  };
+  StatusOr<const IntervalPlan*> GetIntervalPlan(uint32_t lambda);
+
+  /// eBPB bin size for queries spanning `num_cells` cells: the maximum,
+  /// over key columns and windows of `num_cells` consecutive time buckets,
+  /// of the total weight of the distinct cell-ids in the window (paper §5.2
+  /// Step 2/3). Cached per num_cells.
+  StatusOr<uint32_t> GetEbpbBinSize(uint32_t num_cells);
+
+ private:
+  EpochState() = default;
+
+  uint64_t epoch_id_ = 0;
+  uint64_t epoch_start_ = 0;
+  uint64_t first_row_id_ = 0;
+  uint64_t num_rows_ = 0;
+  uint64_t num_fakes_ = 0;
+  uint64_t num_real_ = 0;
+  uint64_t reenc_counter_ = 0;
+  std::optional<Grid> grid_;
+  GridLayout layout_;
+  VerificationTags tags_;
+
+  std::optional<BinPlan> bin_plan_;
+  std::map<uint32_t, IntervalPlan> interval_plans_;
+  std::map<uint32_t, uint32_t> ebpb_bin_sizes_;
+  std::map<uint32_t, uint64_t> bin_key_versions_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CONCEALER_EPOCH_STATE_H_

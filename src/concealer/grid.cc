@@ -1,0 +1,159 @@
+#include "concealer/grid.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/coding.h"
+
+namespace concealer {
+
+namespace {
+
+// Hashes one key attribute onto its axis with per-axis domain separation,
+// so the same value on different axes lands independently.
+uint32_t AxisHash(const GridHash& hash, size_t axis, uint64_t value,
+                  uint32_t buckets) {
+  Bytes enc;
+  PutFixed32(&enc, static_cast<uint32_t>(axis));
+  PutFixed64(&enc, value);
+  return hash.Map(enc, buckets);
+}
+
+}  // namespace
+
+StatusOr<Grid> Grid::Create(const ConcealerConfig& config,
+                            const GridHash* hash, uint64_t epoch_id,
+                            uint64_t epoch_start) {
+  if (hash == nullptr) {
+    return Status::InvalidArgument("grid hash must be provided");
+  }
+  if (config.key_buckets.empty()) {
+    return Status::InvalidArgument("grid needs at least one key axis");
+  }
+  uint64_t cells = 1;
+  for (uint32_t b : config.key_buckets) {
+    if (b == 0) return Status::InvalidArgument("zero-extent key axis");
+    cells *= b;
+  }
+  if (config.time_buckets > 0) cells *= config.time_buckets;
+  if (cells > (1ull << 31)) {
+    return Status::InvalidArgument("grid too large");
+  }
+  if (config.num_cell_ids == 0 || config.num_cell_ids > cells) {
+    return Status::InvalidArgument(
+        "num_cell_ids must be in (0, total cells]");
+  }
+  if (config.time_buckets > 0 &&
+      config.epoch_seconds % config.time_buckets != 0) {
+    return Status::InvalidArgument(
+        "epoch_seconds must be divisible by time_buckets");
+  }
+
+  Grid grid;
+  grid.config_ = config;
+  grid.hash_ = hash;
+  grid.epoch_start_ = epoch_start;
+  grid.num_cells_ = static_cast<uint32_t>(cells);
+
+  // Row-major linearization: key axes first, time axis last.
+  uint32_t stride = 1;
+  const size_t num_axes =
+      config.key_buckets.size() + (config.time_buckets > 0 ? 1 : 0);
+  grid.axis_strides_.resize(num_axes);
+  for (size_t i = 0; i < config.key_buckets.size(); ++i) {
+    grid.axis_strides_[i] = stride;
+    stride *= config.key_buckets[i];
+  }
+  if (config.time_buckets > 0) {
+    grid.axis_strides_[num_axes - 1] = stride;
+  }
+
+  // Cell-id allocation (Alg. 1 Stage 1 (iii)): a keyed-hash function of
+  // (epoch_id, cell index), identically derivable at DP and the enclave.
+  grid.cell_id_of_cell_.resize(grid.num_cells_);
+  for (uint32_t c = 0; c < grid.num_cells_; ++c) {
+    Bytes enc;
+    PutFixed64(&enc, epoch_id);
+    PutFixed32(&enc, c);
+    PutBytes(&enc, Slice("cell-id-alloc"));
+    grid.cell_id_of_cell_[c] = hash->Map(enc, config.num_cell_ids);
+  }
+  return grid;
+}
+
+uint32_t Grid::TimeBucketOf(uint64_t time) const {
+  if (config_.time_buckets == 0) return 0;
+  const uint64_t sub_len = config_.epoch_seconds / config_.time_buckets;
+  uint64_t offset = time >= epoch_start_ ? time - epoch_start_ : 0;
+  if (offset >= config_.epoch_seconds) offset = config_.epoch_seconds - 1;
+  return static_cast<uint32_t>(offset / sub_len);
+}
+
+StatusOr<uint32_t> Grid::CellIndexOf(const std::vector<uint64_t>& keys,
+                                     uint64_t time) const {
+  if (keys.size() != config_.key_buckets.size()) {
+    return Status::InvalidArgument("key arity does not match grid axes");
+  }
+  uint64_t index = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    index += uint64_t{AxisHash(*hash_, i, keys[i], config_.key_buckets[i])} *
+             axis_strides_[i];
+  }
+  if (config_.time_buckets > 0) {
+    index += uint64_t{TimeBucketOf(time)} * axis_strides_.back();
+  }
+  return static_cast<uint32_t>(index);
+}
+
+void Grid::TimeBucketRange(uint64_t time_lo, uint64_t time_hi,
+                           uint32_t* bucket_lo, uint32_t* bucket_hi) const {
+  *bucket_lo = TimeBucketOf(time_lo < epoch_start_ ? epoch_start_ : time_lo);
+  *bucket_hi = TimeBucketOf(time_hi);
+}
+
+StatusOr<std::vector<uint32_t>> Grid::CoverCells(
+    const std::vector<std::vector<uint64_t>>& key_values, uint32_t bucket_lo,
+    uint32_t bucket_hi) const {
+  if (config_.time_buckets > 0 && bucket_hi >= config_.time_buckets) {
+    return Status::InvalidArgument("time bucket out of range");
+  }
+
+  // Base cell indexes (time bucket 0) of the key predicate.
+  std::set<uint64_t> base;
+  if (key_values.empty()) {
+    // Whole key domain: every combination of key-axis coordinates.
+    uint64_t key_cells = 1;
+    for (uint32_t b : config_.key_buckets) key_cells *= b;
+    for (uint64_t c = 0; c < key_cells; ++c) base.insert(c);
+  } else {
+    for (const auto& kv : key_values) {
+      if (kv.size() != config_.key_buckets.size()) {
+        return Status::InvalidArgument("key arity does not match grid axes");
+      }
+      uint64_t index = 0;
+      for (size_t i = 0; i < kv.size(); ++i) {
+        index +=
+            uint64_t{AxisHash(*hash_, i, kv[i], config_.key_buckets[i])} *
+            axis_strides_[i];
+      }
+      base.insert(index);
+    }
+  }
+
+  std::vector<uint32_t> out;
+  if (config_.time_buckets == 0) {
+    out.assign(base.begin(), base.end());
+    return out;
+  }
+  const uint64_t tstride = axis_strides_.back();
+  for (uint32_t tb = bucket_lo; tb <= bucket_hi; ++tb) {
+    for (uint64_t b : base) {
+      out.push_back(static_cast<uint32_t>(b + uint64_t{tb} * tstride));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace concealer

@@ -1,0 +1,78 @@
+#ifndef CONCEALER_CONCEALER_GRID_H_
+#define CONCEALER_CONCEALER_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "concealer/types.h"
+#include "crypto/grid_hash.h"
+
+namespace concealer {
+
+/// The grid of Algorithm 1 Stage 1: key attributes hash onto per-attribute
+/// axes, the epoch's time range splits into `time_buckets` subintervals,
+/// and `num_cell_ids` cell-ids are allocated over the cells. Both DP (cell
+/// formation) and the enclave (cell identification, Alg. 2) construct the
+/// identical Grid from the shared secret, so `CellIndexOf` agrees on both
+/// sides.
+class Grid {
+ public:
+  /// Builds the grid for one epoch. `hash` must be keyed with the shared
+  /// secret. Cell-id allocation is a deterministic function of the epoch id
+  /// (both sides derive the same permutation).
+  static StatusOr<Grid> Create(const ConcealerConfig& config,
+                               const GridHash* hash, uint64_t epoch_id,
+                               uint64_t epoch_start);
+
+  /// Total number of grid cells (product of all axis extents).
+  uint32_t num_cells() const { return num_cells_; }
+  uint32_t num_cell_ids() const { return config_.num_cell_ids; }
+  const ConcealerConfig& config() const { return config_; }
+  uint64_t epoch_start() const { return epoch_start_; }
+
+  /// Subinterval (time axis coordinate) of a timestamp within this epoch.
+  uint32_t TimeBucketOf(uint64_t time) const;
+
+  /// Linearized cell index for a tuple's key coordinates + timestamp.
+  /// Key axes use the keyed hash H; the time axis uses the subinterval.
+  StatusOr<uint32_t> CellIndexOf(const std::vector<uint64_t>& keys,
+                                 uint64_t time) const;
+
+  /// Cell-id assigned to a linearized cell index.
+  uint32_t CellIdOf(uint32_t cell_index) const {
+    return cell_id_of_cell_[cell_index];
+  }
+
+  /// All linearized cell indexes whose key-hash coordinates match any of
+  /// `key_values` (empty = every key column) and whose time bucket lies in
+  /// [bucket_lo, bucket_hi]. This is the cell cover of a range query.
+  StatusOr<std::vector<uint32_t>> CoverCells(
+      const std::vector<std::vector<uint64_t>>& key_values,
+      uint32_t bucket_lo, uint32_t bucket_hi) const;
+
+  /// Subinterval range covered by a time range (clamped to the epoch).
+  void TimeBucketRange(uint64_t time_lo, uint64_t time_hi,
+                       uint32_t* bucket_lo, uint32_t* bucket_hi) const;
+
+  /// Quantizes a timestamp for the El/Eo filter columns.
+  uint64_t QuantizeTime(uint64_t time) const {
+    const uint64_t q = config_.time_quantum ? config_.time_quantum : 1;
+    return time / q * q;
+  }
+
+ private:
+  Grid() = default;
+
+  ConcealerConfig config_;
+  const GridHash* hash_ = nullptr;  // Not owned.
+  uint64_t epoch_start_ = 0;
+  uint32_t num_cells_ = 0;
+  std::vector<uint32_t> axis_strides_;  // Strides for linearization.
+  std::vector<uint32_t> cell_id_of_cell_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CONCEALER_GRID_H_

@@ -1,0 +1,68 @@
+#include "concealer/leakage.h"
+
+#include <algorithm>
+#include <set>
+
+namespace concealer {
+
+void LeakageObserver::BeginQuery() {
+  const TableStats& stats = table_->stats();
+  at_begin_ = {stats.index_probes, stats.rows_fetched, stats.rows_scanned};
+}
+
+void LeakageObserver::EndQuery(const std::string& label) {
+  const TableStats& stats = table_->stats();
+  volumes_.push_back(stats.rows_fetched - at_begin_.rows_fetched);
+  probe_counts_.push_back(stats.index_probes - at_begin_.index_probes);
+  labels_.push_back(label);
+}
+
+bool LeakageObserver::VolumesAreConstant() const {
+  return DistinctVolumes() <= 1;
+}
+
+size_t LeakageObserver::DistinctVolumes() const {
+  return std::set<uint64_t>(volumes_.begin(), volumes_.end()).size();
+}
+
+RetrievalHistogram SimulateUniformWorkload(
+    const GridLayout& layout, const std::vector<uint32_t>& bin_of_cell_id,
+    size_t num_bins, const std::vector<uint32_t>& super_of_bin) {
+  RetrievalHistogram hist;
+  const bool use_super = !super_of_bin.empty();
+  size_t buckets = num_bins;
+  if (use_super) {
+    buckets = 0;
+    for (uint32_t s : super_of_bin) {
+      buckets = std::max<size_t>(buckets, s + 1);
+    }
+  }
+  hist.retrievals.assign(buckets, 0);
+
+  // Uniform workload: one point query per non-empty cell (each distinct
+  // attribute-value combination queried once — Example 8.1's model).
+  for (size_t cell = 0; cell < layout.cell_of_cell_index.size(); ++cell) {
+    if (cell >= layout.count_per_cell.size() ||
+        layout.count_per_cell[cell] == 0) {
+      continue;
+    }
+    const uint32_t cid = layout.cell_of_cell_index[cell];
+    uint32_t bucket = bin_of_cell_id[cid];
+    if (use_super) bucket = super_of_bin[bucket];
+    hist.retrievals[bucket]++;
+  }
+
+  hist.min_retrievals = ~uint64_t{0};
+  for (uint64_t r : hist.retrievals) {
+    hist.min_retrievals = std::min(hist.min_retrievals, r);
+    hist.max_retrievals = std::max(hist.max_retrievals, r);
+  }
+  if (hist.retrievals.empty()) hist.min_retrievals = 0;
+  hist.skew = hist.min_retrievals == 0
+                  ? static_cast<double>(hist.max_retrievals)
+                  : static_cast<double>(hist.max_retrievals) /
+                        static_cast<double>(hist.min_retrievals);
+  return hist;
+}
+
+}  // namespace concealer

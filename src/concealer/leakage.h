@@ -1,0 +1,77 @@
+#ifndef CONCEALER_CONCEALER_LEAKAGE_H_
+#define CONCEALER_CONCEALER_LEAKAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "concealer/types.h"
+#include "storage/encrypted_table.h"
+
+namespace concealer {
+
+/// Adversary-view instrumentation: what an honest-but-curious service
+/// provider can record by watching its own DBMS (paper §2.1 threat model).
+/// Security tests and the workload-attack bench use this to *measure* the
+/// leakage profiles the paper reasons about (output-size, §8 retrieval
+/// frequency) instead of asserting them on faith.
+class LeakageObserver {
+ public:
+  /// Snapshot of table counters; `Delta` computes per-query observations.
+  struct Snapshot {
+    uint64_t index_probes = 0;
+    uint64_t rows_fetched = 0;
+    uint64_t rows_scanned = 0;
+  };
+
+  explicit LeakageObserver(const EncryptedTable* table) : table_(table) {}
+
+  /// Marks the start of one observed query.
+  void BeginQuery();
+
+  /// Marks the end; records the query's probe/volume observation.
+  void EndQuery(const std::string& label = "");
+
+  /// Per-query fetched-row volumes in observation order — the exact signal
+  /// a volume attack consumes. Volume hiding holds iff all entries of a
+  /// query class are equal.
+  const std::vector<uint64_t>& volumes() const { return volumes_; }
+  const std::vector<uint64_t>& probe_counts() const { return probe_counts_; }
+
+  /// True iff every observed volume is identical (the output-size
+  /// prevention property, paper §7).
+  bool VolumesAreConstant() const;
+
+  /// Number of distinct volumes observed (1 = perfect hiding).
+  size_t DistinctVolumes() const;
+
+ private:
+  const EncryptedTable* table_;
+  Snapshot at_begin_;
+  std::vector<uint64_t> volumes_;
+  std::vector<uint64_t> probe_counts_;
+  std::vector<std::string> labels_;
+};
+
+/// Retrieval-frequency histogram for the §8 workload attack: simulates a
+/// uniform query workload (one query per non-empty grid cell) against a
+/// bin plan and counts how often each bin — or each super-bin, when
+/// `super_of_bin` is non-empty — is retrieved. Example 8.1's attack reads
+/// distribution information straight from the skew of this histogram.
+struct RetrievalHistogram {
+  std::vector<uint64_t> retrievals;  // Per (super-)bin.
+  uint64_t min_retrievals = 0;
+  uint64_t max_retrievals = 0;
+  /// max/min spread; 1.0 = perfectly uniform (nothing to learn).
+  double skew = 0;
+};
+
+RetrievalHistogram SimulateUniformWorkload(
+    const GridLayout& layout, const std::vector<uint32_t>& bin_of_cell_id,
+    size_t num_bins, const std::vector<uint32_t>& super_of_bin);
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CONCEALER_LEAKAGE_H_

@@ -1,0 +1,513 @@
+#include "concealer/query_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/coding.h"
+#include "concealer/wire.h"
+#include "crypto/det_cipher.h"
+#include "crypto/hmac.h"
+#include "enclave/oblivious.h"
+
+namespace concealer {
+
+namespace {
+
+std::string ToStringKey(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+std::string ToStringKey(Slice s) {
+  return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+}
+
+// Quantized timestamps of a query's time range clipped to one epoch.
+std::vector<uint64_t> QuantizedTimes(const EpochState& state,
+                                     const ConcealerConfig& config,
+                                     const Query& query) {
+  std::vector<uint64_t> times;
+  if (config.time_buckets == 0) {
+    times.push_back(0);  // Non-time-series data: single pseudo-timestamp.
+    return times;
+  }
+  const uint64_t quantum = config.time_quantum == 0 ? 1 : config.time_quantum;
+  const uint64_t epoch_lo = state.epoch_start();
+  const uint64_t epoch_hi = state.epoch_start() + config.epoch_seconds - 1;
+  uint64_t lo = std::max(query.time_lo, epoch_lo);
+  uint64_t hi = std::min(query.time_hi, epoch_hi);
+  if (lo > hi) return times;
+  lo = lo / quantum * quantum;
+  hi = hi / quantum * quantum;
+  for (uint64_t t = lo; t <= hi; t += quantum) times.push_back(t);
+  return times;
+}
+
+// All key coordinate vectors a query constrains: the explicit predicate, or
+// the full (public) domain for whole-domain queries.
+StatusOr<std::vector<std::vector<uint64_t>>> KeyUniverse(
+    const ConcealerConfig& config, const Query& query) {
+  if (!query.key_values.empty()) return query.key_values;
+  if (config.key_domains.size() != config.key_buckets.size()) {
+    return Status::FailedPrecondition(
+        "whole-domain query requires key_domains in the config");
+  }
+  uint64_t total = 1;
+  for (uint64_t d : config.key_domains) {
+    if (d == 0) return Status::InvalidArgument("empty key domain");
+    total *= d;
+    if (total > 1000000) {
+      return Status::InvalidArgument(
+          "whole-domain filter enumeration too large");
+    }
+  }
+  std::vector<std::vector<uint64_t>> out;
+  out.reserve(total);
+  std::vector<uint64_t> cur(config.key_domains.size(), 0);
+  for (uint64_t i = 0; i < total; ++i) {
+    out.push_back(cur);
+    for (size_t axis = 0; axis < cur.size(); ++axis) {
+      if (++cur[axis] < config.key_domains[axis]) break;
+      cur[axis] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Bytes>> QueryExecutor::MakeTrapdoors(
+    const EpochState& state, const FetchUnit& unit, bool oblivious,
+    uint64_t* issued) const {
+  StatusOr<DetCipher> det =
+      enclave_->EpochDetCipher(state.epoch_id(), unit.key_version);
+  if (!det.ok()) return det.status();
+
+  const auto& c_tuple = state.layout().count_per_cell_id;
+  const uint64_t fake_pool = state.num_fake_tuples();
+
+  if (!oblivious) {
+    // Plain Step 3: one trapdoor per (cid, counter) plus the fake range.
+    std::vector<Bytes> trapdoors;
+    for (uint32_t cid : unit.cell_ids) {
+      if (cid >= c_tuple.size()) {
+        return Status::InvalidArgument("cell-id out of range");
+      }
+      for (uint64_t ctr = 1; ctr <= c_tuple[cid]; ++ctr) {
+        trapdoors.push_back(det->Encrypt(IndexPlain(cid, ctr)));
+      }
+    }
+    for (uint64_t j = 0; j < unit.fake_count; ++j) {
+      uint64_t fid = unit.fake_lo + j;
+      if (unit.cycle_fakes && fake_pool > 0) {
+        fid = (fid - 1) % fake_pool + 1;
+      }
+      if (fake_pool == 0) break;  // No fakes provisioned; degrade gracefully.
+      trapdoors.push_back(det->Encrypt(IndexPlain(kFakeCellId, fid)));
+    }
+    *issued = trapdoors.size();
+    return trapdoors;
+  }
+
+  // Oblivious Step 3 (§4.3): generate the same number of trapdoor slots for
+  // every unit of the plan — #C_max x #max real slots plus #f_max fake
+  // slots — flag valid ones branchlessly, obliviously sort by the flag, and
+  // send only the valid prefix.
+  uint32_t slots_cids = unit.slots_cids;
+  uint32_t slots_counters = unit.slots_counters;
+  uint32_t slots_fakes = unit.slots_fakes;
+  if (slots_cids == 0) slots_cids = static_cast<uint32_t>(unit.cell_ids.size());
+  if (slots_counters == 0) {
+    for (uint32_t cid : unit.cell_ids) {
+      slots_counters = std::max(slots_counters, c_tuple[cid]);
+    }
+    slots_counters = std::max<uint32_t>(slots_counters, 1);
+  }
+  if (slots_fakes == 0) {
+    slots_fakes = static_cast<uint32_t>(unit.fake_count);
+  }
+
+  std::vector<SortRecord> slots;
+  slots.reserve(uint64_t{slots_cids} * slots_counters + slots_fakes);
+  uint64_t valid = 0;
+  const size_t td_len = det->Encrypt(IndexPlain(0, 1)).size();
+  for (uint32_t ci = 0; ci < slots_cids; ++ci) {
+    const bool have_cid = ci < unit.cell_ids.size();
+    // For absent cid slots encrypt a dummy plaintext — the work done per
+    // slot is identical either way.
+    const uint32_t cid = have_cid ? unit.cell_ids[ci] : kFakeCellId - 1;
+    const uint32_t limit = have_cid ? c_tuple[cid] : 0;
+    for (uint32_t j = 1; j <= slots_counters; ++j) {
+      SortRecord rec;
+      rec.payload = det->Encrypt(IndexPlain(cid, j));
+      rec.payload.resize(td_len, 0);
+      const uint64_t v = OMove(OGreater(j, limit), 0, 1);  // j<=limit -> 1.
+      rec.key = v;
+      valid += v;
+      slots.push_back(std::move(rec));
+    }
+  }
+  for (uint32_t j = 1; j <= slots_fakes; ++j) {
+    uint64_t fid = unit.fake_lo + j - 1;
+    if (unit.cycle_fakes && fake_pool > 0) fid = (fid - 1) % fake_pool + 1;
+    SortRecord rec;
+    rec.payload = det->Encrypt(IndexPlain(kFakeCellId, fid));
+    rec.payload.resize(td_len, 0);
+    const uint64_t in_range = OMove(OGreater(j, unit.fake_count), 0, 1);
+    const uint64_t have_pool = fake_pool > 0 ? 1 : 0;
+    rec.key = in_range & have_pool;
+    valid += rec.key;
+    slots.push_back(std::move(rec));
+  }
+  ObliviousPartitionByFlag(&slots);
+
+  std::vector<Bytes> trapdoors;
+  trapdoors.reserve(valid);
+  for (uint64_t i = 0; i < valid; ++i) {
+    trapdoors.push_back(std::move(slots[i].payload));
+  }
+  *issued = trapdoors.size();
+  return trapdoors;
+}
+
+StatusOr<FetchedUnit> QueryExecutor::FetchWithIds(
+    const EpochState& state, const FetchUnit& unit, bool oblivious,
+    std::vector<uint64_t>* row_ids) const {
+  uint64_t issued = 0;
+  StatusOr<std::vector<Bytes>> trapdoors =
+      MakeTrapdoors(state, unit, oblivious, &issued);
+  if (!trapdoors.ok()) return trapdoors.status();
+
+  FetchedUnit fetched;
+  fetched.trapdoors_issued = issued;
+  fetched.key_version = unit.key_version;
+
+  auto pairs = table_->FetchWithIds(*trapdoors);
+  fetched.rows.reserve(pairs.size());
+  if (row_ids != nullptr) row_ids->reserve(pairs.size());
+  for (auto& [row_id, row] : pairs) {
+    if (row_ids != nullptr) row_ids->push_back(row_id);
+    fetched.rows.push_back(std::move(row));
+  }
+
+  // Align rows back to cell-ids for verification: a row's Index column is
+  // byte-identical to the trapdoor that fetched it.
+  StatusOr<DetCipher> det =
+      enclave_->EpochDetCipher(state.epoch_id(), unit.key_version);
+  if (!det.ok()) return det.status();
+  std::unordered_map<std::string, size_t> by_index;
+  by_index.reserve(fetched.rows.size());
+  for (size_t i = 0; i < fetched.rows.size(); ++i) {
+    by_index.emplace(ToStringKey(fetched.rows[i].columns[kColIndex]), i);
+  }
+  const auto& c_tuple = state.layout().count_per_cell_id;
+  for (uint32_t cid : unit.cell_ids) {
+    auto& list = fetched.real_row_of_cid[cid];
+    for (uint64_t ctr = 1; ctr <= c_tuple[cid]; ++ctr) {
+      auto it = by_index.find(ToStringKey(det->Encrypt(IndexPlain(cid, ctr))));
+      if (it != by_index.end()) list.push_back(it->second);
+    }
+  }
+  return fetched;
+}
+
+StatusOr<FetchedUnit> QueryExecutor::Fetch(const EpochState& state,
+                                           const FetchUnit& unit,
+                                           bool oblivious) const {
+  return FetchWithIds(state, unit, oblivious, nullptr);
+}
+
+Status QueryExecutor::Verify(const EpochState& state,
+                             const FetchedUnit& fetched) const {
+  // Re-encrypted units carry enclave-updated tags keyed by (cid, version);
+  // version 0 tags come from DP. A missing tag for a non-empty cid means
+  // the adversary dropped the whole cell-id — also corruption.
+  for (const auto& [cid, row_idxs] : fetched.real_row_of_cid) {
+    const uint32_t expected = state.layout().count_per_cell_id[cid];
+    if (row_idxs.size() != expected) {
+      return Status::Corruption("cell-id " + std::to_string(cid) +
+                                " returned " +
+                                std::to_string(row_idxs.size()) + " of " +
+                                std::to_string(expected) + " rows");
+    }
+    if (expected == 0) continue;
+    auto tag_it = state.tags().find(cid);
+    if (tag_it == state.tags().end()) {
+      return Status::Corruption("no verifiable tag for cell-id " +
+                                std::to_string(cid));
+    }
+    Sha256::Digest el{}, eo{}, er{};
+    bool started = false;
+    for (size_t idx : row_idxs) {
+      const Row& row = fetched.rows[idx];
+      el = ChainStep(row.columns[kColEl], started ? &el : nullptr);
+      eo = ChainStep(row.columns[kColEo], started ? &eo : nullptr);
+      er = ChainStep(row.columns[kColEr], started ? &er : nullptr);
+      started = true;
+    }
+    const ChainTags& tags = tag_it->second;
+    if (!ConstantTimeEqual(Slice(el.data(), el.size()),
+                           Slice(tags.el.data(), tags.el.size())) ||
+        !ConstantTimeEqual(Slice(eo.data(), eo.size()),
+                           Slice(tags.eo.data(), tags.eo.size())) ||
+        !ConstantTimeEqual(Slice(er.data(), er.size()),
+                           Slice(tags.er.data(), tags.er.size()))) {
+      return Status::Corruption("hash chain mismatch for cell-id " +
+                                std::to_string(cid));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<QueryExecutor::FilterSet> QueryExecutor::BuildFilterSet(
+    const EpochState& state, const Query& query, uint64_t key_version) const {
+  StatusOr<DetCipher> det =
+      enclave_->EpochDetCipher(state.epoch_id(), key_version);
+  if (!det.ok()) return det.status();
+
+  FilterSet filters;
+  const std::vector<uint64_t> times = QuantizedTimes(state, config_, query);
+
+  // Q4 matches on the observation column alone; every other aggregate
+  // constrains the key column (and optionally the observation).
+  filters.use_el = query.agg != Aggregate::kKeysWithObservation;
+  filters.use_eo = !query.observation.empty();
+
+  if (filters.use_el) {
+    StatusOr<std::vector<std::vector<uint64_t>>> keys =
+        KeyUniverse(config_, query);
+    if (!keys.ok()) return keys.status();
+    for (const auto& kv : *keys) {
+      for (uint64_t t : times) {
+        Bytes ct = det->Encrypt(KeyTimePlain(kv, t));
+        std::string sk = ToStringKey(ct);
+        if (filters.el_to_key.emplace(sk, kv).second) {
+          filters.el_ordered.emplace_back(std::move(sk), kv);
+        }
+      }
+    }
+  }
+  if (filters.use_eo) {
+    for (uint64_t t : times) {
+      filters.eo_set.insert(
+          ToStringKey(det->Encrypt(ObsTimePlain(query.observation, t))));
+    }
+  }
+  return filters;
+}
+
+Status QueryExecutor::FilterInto(const EpochState& state, const Query& query,
+                                 const FetchedUnit& fetched, bool oblivious,
+                                 AggState* agg,
+                                 std::unordered_set<std::string>* seen_rows,
+                                 FilterCache* filter_cache) const {
+  const FilterSet* filters_ptr = nullptr;
+  FilterSet local;
+  if (filter_cache != nullptr) {
+    auto it = filter_cache->find(fetched.key_version);
+    if (it == filter_cache->end()) {
+      StatusOr<FilterSet> built =
+          BuildFilterSet(state, query, fetched.key_version);
+      if (!built.ok()) return built.status();
+      it = filter_cache->emplace(fetched.key_version, std::move(*built))
+               .first;
+    }
+    filters_ptr = &it->second;
+  } else {
+    StatusOr<FilterSet> built =
+        BuildFilterSet(state, query, fetched.key_version);
+    if (!built.ok()) return built.status();
+    local = std::move(*built);
+    filters_ptr = &local;
+  }
+  const FilterSet& filters = *filters_ptr;
+
+  StatusOr<DetCipher> det =
+      enclave_->EpochDetCipher(state.epoch_id(), fetched.key_version);
+  if (!det.ok()) return det.status();
+
+  agg->rows_fetched += fetched.rows.size();
+
+  const bool needs_value = query.agg == Aggregate::kSum ||
+                           query.agg == Aggregate::kMin ||
+                           query.agg == Aggregate::kMax;
+  const bool q4 = query.agg == Aggregate::kKeysWithObservation;
+
+  auto absorb_match = [&](const std::vector<uint64_t>& key_coords,
+                          const Row& row) -> Status {
+    ++agg->rows_matched;
+    ++agg->count;
+    if (needs_value || q4) {
+      StatusOr<Bytes> er = det->Decrypt(row.columns[kColEr]);
+      if (!er.ok()) return er.status();
+      StatusOr<PlainTuple> tuple = ParseTuplePlain(*er);
+      if (!tuple.ok()) return tuple.status();
+      const uint64_t v = PayloadValue(*tuple);
+      agg->sum += v;
+      agg->min = std::min(agg->min, v);
+      agg->max = std::max(agg->max, v);
+      agg->group_counts[tuple->keys] += 1;
+    } else {
+      agg->group_counts[key_coords] += 1;
+    }
+    return Status::OK();
+  };
+
+  // Dedup across fetch units: the Index column identifies a row uniquely
+  // within a key version (DET over distinct (cid, ctr) plaintexts).
+  auto is_fresh = [&](const Row& row) -> bool {
+    if (seen_rows == nullptr) return true;
+    return seen_rows
+        ->insert(ToStringKey(row.columns[kColIndex]) + '#' +
+                 std::to_string(fetched.key_version))
+        .second;
+  };
+
+  if (!oblivious) {
+    for (const Row& row : fetched.rows) {
+      if (!is_fresh(row)) continue;
+      const std::string el = ToStringKey(row.columns[kColEl]);
+      const std::string eo = ToStringKey(row.columns[kColEo]);
+      const bool eo_ok = !filters.use_eo || filters.eo_set.count(eo) > 0;
+      if (q4) {
+        if (filters.eo_set.count(eo) > 0) {
+          CONCEALER_RETURN_IF_ERROR(absorb_match({}, row));
+        }
+        continue;
+      }
+      auto it = filters.el_to_key.find(el);
+      if (it != filters.el_to_key.end() && eo_ok) {
+        CONCEALER_RETURN_IF_ERROR(absorb_match(it->second, row));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Oblivious Step 4 (§4.3): every row is string-matched against every
+  // filter with branchless flag updates; per-filter counters accumulate the
+  // grouped counts; rows are then obliviously partitioned by the match flag
+  // and only the matched prefix is decrypted (when decryption is needed).
+  const size_t n = fetched.rows.size();
+  std::vector<uint64_t> flags(n, 0);
+  std::vector<uint64_t> filter_hits(filters.el_ordered.size(), 0);
+  for (size_t i = 0; i < n; ++i) {
+    const Row& row = fetched.rows[i];
+    const Slice el(row.columns[kColEl]);
+    const Slice eo(row.columns[kColEo]);
+    const uint64_t fresh = is_fresh(row) ? 1 : 0;
+    uint64_t eo_ok = filters.use_eo ? 0 : 1;
+    for (const std::string& f : filters.eo_set) {
+      const uint64_t eq = ConstantTimeEqual(eo, Slice(f)) ? 1 : 0;
+      eo_ok = OMove(eq, 1, eo_ok);
+    }
+    if (q4) {
+      flags[i] = (filters.use_eo ? eo_ok : 0) & fresh;
+      continue;
+    }
+    uint64_t el_hit = 0;
+    for (size_t fi = 0; fi < filters.el_ordered.size(); ++fi) {
+      const uint64_t eq =
+          ConstantTimeEqual(el, Slice(filters.el_ordered[fi].first)) ? 1 : 0;
+      const uint64_t hit = eq & eo_ok & fresh;
+      el_hit = OMove(hit, 1, el_hit);
+      filter_hits[fi] += hit;
+    }
+    flags[i] = el_hit;
+  }
+
+  uint64_t matched = 0;
+  for (uint64_t f : flags) matched += f;
+  agg->rows_matched += matched;
+  agg->count += matched;
+  if (!q4) {
+    for (size_t fi = 0; fi < filters.el_ordered.size(); ++fi) {
+      if (filter_hits[fi] > 0) {
+        agg->group_counts[filters.el_ordered[fi].second] += filter_hits[fi];
+      }
+    }
+  }
+
+  if (needs_value || q4) {
+    // Oblivious partition by flag, then decrypt the matched prefix.
+    size_t max_len = 1;
+    for (const Row& row : fetched.rows) {
+      max_len = std::max(max_len, row.columns[kColEr].size());
+    }
+    std::vector<SortRecord> recs(n);
+    for (size_t i = 0; i < n; ++i) {
+      recs[i].key = flags[i];
+      Bytes payload;
+      PutFixed32(&payload, static_cast<uint32_t>(
+                               fetched.rows[i].columns[kColEr].size()));
+      PutBytes(&payload, fetched.rows[i].columns[kColEr]);
+      payload.resize(4 + max_len, 0);
+      recs[i].payload = std::move(payload);
+    }
+    ObliviousPartitionByFlag(&recs);
+    for (uint64_t i = 0; i < matched; ++i) {
+      const uint32_t len = DecodeFixed32(recs[i].payload.data());
+      StatusOr<Bytes> er = det->Decrypt(
+          Slice(recs[i].payload.data() + 4, len));
+      if (!er.ok()) return er.status();
+      StatusOr<PlainTuple> tuple = ParseTuplePlain(*er);
+      if (!tuple.ok()) return tuple.status();
+      const uint64_t v = PayloadValue(*tuple);
+      agg->sum += v;
+      agg->min = std::min(agg->min, v);
+      agg->max = std::max(agg->max, v);
+      if (q4) agg->group_counts[tuple->keys] += 1;
+    }
+  }
+  return Status::OK();
+}
+
+QueryResult QueryExecutor::Finalize(const Query& query, const AggState& agg) {
+  QueryResult result;
+  result.rows_fetched = agg.rows_fetched;
+  result.rows_matched = agg.rows_matched;
+  result.verified = agg.any_verified;
+  switch (query.agg) {
+    case Aggregate::kCount:
+      result.count = agg.count;
+      break;
+    case Aggregate::kSum:
+      result.count = agg.sum;
+      break;
+    case Aggregate::kMin:
+      result.count = agg.rows_matched == 0 ? 0 : agg.min;
+      break;
+    case Aggregate::kMax:
+      result.count = agg.rows_matched == 0 ? 0 : agg.max;
+      break;
+    case Aggregate::kTopK: {
+      std::vector<std::pair<std::vector<uint64_t>, uint64_t>> all(
+          agg.group_counts.begin(), agg.group_counts.end());
+      std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return a.first < b.first;
+      });
+      if (all.size() > query.k) all.resize(query.k);
+      result.keyed_counts = std::move(all);
+      result.count = agg.count;
+      break;
+    }
+    case Aggregate::kThresholdKeys: {
+      for (const auto& [keys, count] : agg.group_counts) {
+        if (count >= query.threshold) {
+          result.keyed_counts.emplace_back(keys, count);
+        }
+      }
+      result.count = agg.count;
+      break;
+    }
+    case Aggregate::kKeysWithObservation: {
+      for (const auto& [keys, count] : agg.group_counts) {
+        result.keyed_counts.emplace_back(keys, count);
+      }
+      result.count = agg.count;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace concealer

@@ -1,0 +1,138 @@
+#ifndef CONCEALER_CONCEALER_QUERY_EXECUTOR_H_
+#define CONCEALER_CONCEALER_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "concealer/epoch_state.h"
+#include "concealer/types.h"
+#include "enclave/enclave.h"
+#include "storage/encrypted_table.h"
+
+namespace concealer {
+
+/// One volume-constant retrieval unit: a set of cell-ids plus a fake-id
+/// range that pads the fetch to a fixed row count. BPB bins, eBPB cell
+/// covers and winSecRange intervals all reduce to this shape before hitting
+/// the DBMS.
+struct FetchUnit {
+  std::vector<uint32_t> cell_ids;
+  uint64_t fake_lo = 1;      // First fake id (1-based, matches E_k(f‖j)).
+  uint64_t fake_count = 0;   // Number of fake trapdoors to issue.
+  /// eBPB/winSecRange reuse the epoch's global fake pool; ids wrap modulo
+  /// the pool size (BPB keeps disjoint ranges per Example 4.1 and never
+  /// wraps).
+  bool cycle_fakes = false;
+  /// Re-encryption key version of this unit's rows (paper §6 footnote 7).
+  uint64_t key_version = 0;
+  /// Oblivious trapdoor-slot shape (§4.3): the same slot counts must be
+  /// used for every unit of a plan so trapdoor generation is
+  /// unit-independent. 0 = derive from this unit alone.
+  uint32_t slots_cids = 0;      // #C_max.
+  uint32_t slots_counters = 0;  // #max.
+  uint32_t slots_fakes = 0;     // #f_max.
+};
+
+/// Result of fetching one unit, with enclave-side alignment of rows back to
+/// cell-ids (by matching the Index column against the issued trapdoors) for
+/// hash-chain verification.
+struct FetchedUnit {
+  std::vector<Row> rows;
+  /// Real rows grouped per cell-id in counter order (chain order).
+  std::map<uint32_t, std::vector<size_t>> real_row_of_cid;  // Index into rows.
+  uint64_t trapdoors_issued = 0;
+  uint64_t key_version = 0;
+};
+
+/// Enclave-side query machinery shared by the point- and range-query paths:
+/// trapdoor formulation (plain and oblivious), DBMS fetch, hash-chain
+/// verification, and filtering/aggregation (plain and oblivious).
+class QueryExecutor {
+ public:
+  /// DET filter values the enclave string-matches against fetched rows
+  /// (Table 4): El filters map back to the key vector that produced them so
+  /// grouped aggregates know each match's group. Built once per
+  /// (query, epoch, key version) and cached across fetch units.
+  struct FilterSet {
+    std::unordered_map<std::string, std::vector<uint64_t>> el_to_key;
+    std::unordered_set<std::string> eo_set;
+    bool use_el = false;
+    bool use_eo = false;
+    /// Stable filter order for the oblivious per-filter counters.
+    std::vector<std::pair<std::string, std::vector<uint64_t>>> el_ordered;
+  };
+  /// Per-query filter cache, keyed by key version.
+  using FilterCache = std::map<uint64_t, FilterSet>;
+
+  /// Running aggregation state, merged across fetch units and epochs.
+  struct AggState {
+    uint64_t count = 0;
+    std::map<std::vector<uint64_t>, uint64_t> group_counts;
+    uint64_t sum = 0;
+    uint64_t min = std::numeric_limits<uint64_t>::max();
+    uint64_t max = 0;
+    uint64_t rows_fetched = 0;
+    uint64_t rows_matched = 0;
+    bool any_verified = false;
+  };
+
+  QueryExecutor(const Enclave* enclave, const EncryptedTable* table,
+                const ConcealerConfig& config)
+      : enclave_(enclave), table_(table), config_(config) {}
+
+  /// Alg. 2 Step 3 (+ §4.3 oblivious variant): formulates trapdoors for a
+  /// unit and fetches its rows from the DBMS.
+  StatusOr<FetchedUnit> Fetch(const EpochState& state, const FetchUnit& unit,
+                              bool oblivious) const;
+
+  /// Like Fetch but also returns row ids (dynamic-insertion rewrite path).
+  StatusOr<FetchedUnit> FetchWithIds(const EpochState& state,
+                                     const FetchUnit& unit, bool oblivious,
+                                     std::vector<uint64_t>* row_ids) const;
+
+  /// Step 4 verification: recomputes the hash chains of every *complete*
+  /// cell-id in the fetched unit and compares against the epoch's tags.
+  Status Verify(const EpochState& state, const FetchedUnit& fetched) const;
+
+  /// Step 4 filtering + aggregation into `agg`. Oblivious mode performs the
+  /// §4.3 constant-trace matching and an oblivious partition before any
+  /// decryption. `seen_rows` (optional) deduplicates rows fetched by more
+  /// than one unit of the same query — winSecRange intervals and eBPB
+  /// columns may share cell-ids, so the same row can arrive twice; it must
+  /// count once.
+  Status FilterInto(const EpochState& state, const Query& query,
+                    const FetchedUnit& fetched, bool oblivious,
+                    AggState* agg,
+                    std::unordered_set<std::string>* seen_rows = nullptr,
+                    FilterCache* filter_cache = nullptr) const;
+
+  /// Produces the final answer from merged aggregation state.
+  static QueryResult Finalize(const Query& query, const AggState& agg);
+
+  const ConcealerConfig& config() const { return config_; }
+
+ private:
+  StatusOr<std::vector<Bytes>> MakeTrapdoors(const EpochState& state,
+                                             const FetchUnit& unit,
+                                             bool oblivious,
+                                             uint64_t* issued) const;
+
+  StatusOr<FilterSet> BuildFilterSet(const EpochState& state,
+                                     const Query& query,
+                                     uint64_t key_version) const;
+
+  const Enclave* enclave_;
+  const EncryptedTable* table_;
+  ConcealerConfig config_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CONCEALER_QUERY_EXECUTOR_H_

@@ -1,0 +1,54 @@
+#ifndef CONCEALER_CONCEALER_RANGE_PLANNER_H_
+#define CONCEALER_CONCEALER_RANGE_PLANNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "concealer/epoch_state.h"
+#include "concealer/query_executor.h"
+#include "concealer/types.h"
+
+namespace concealer {
+
+/// Translates a query's predicate into the fetch units of the selected
+/// execution method, within one epoch:
+///
+///  - kBPB (§4.2/§5.1): cover cells → cell-ids → the BPB bins containing
+///    them. Fetch unit = one whole bin (point queries fetch exactly one).
+///  - kEBPB (§5.2): per key column touched by the range, fetch exactly the
+///    column's covered cell-ids padded to the top-ℓ window volume.
+///  - kWinSecRange (§5.3): fetch the fixed-λ intervals overlapping the
+///    range (every key column), each padded to the common interval volume.
+class RangePlanner {
+ public:
+  explicit RangePlanner(const ConcealerConfig& config) : config_(config) {}
+
+  StatusOr<std::vector<FetchUnit>> Plan(EpochState* state,
+                                        const Query& query) const;
+
+  /// BPB bin indexes a query needs (exposed for the dynamic-insertion path,
+  /// which pads this set with random extra bins).
+  StatusOr<std::vector<uint32_t>> BpbBinIndexes(EpochState* state,
+                                                const Query& query) const;
+
+  /// Builds the fetch unit for one BPB bin (also used by the dynamic path).
+  StatusOr<FetchUnit> UnitForBin(EpochState* state, uint32_t bin_index) const;
+
+  PackAlgorithm pack_algorithm() const {
+    return config_.use_bfd ? PackAlgorithm::kBestFitDecreasing
+                           : PackAlgorithm::kFirstFitDecreasing;
+  }
+
+ private:
+  StatusOr<std::vector<uint32_t>> CoverCellsForQuery(const EpochState& state,
+                                                     const Query& query,
+                                                     uint32_t* bucket_lo,
+                                                     uint32_t* bucket_hi)
+      const;
+
+  ConcealerConfig config_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CONCEALER_RANGE_PLANNER_H_

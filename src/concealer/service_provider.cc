@@ -1,0 +1,295 @@
+#include "concealer/service_provider.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "concealer/super_bins.h"
+#include "concealer/wire.h"
+#include "crypto/det_cipher.h"
+#include "crypto/kdf.h"
+#include "crypto/rand_cipher.h"
+
+namespace concealer {
+
+ServiceProvider::ServiceProvider(ConcealerConfig config, Bytes sk)
+    : config_(config),
+      enclave_(std::move(sk)),
+      table_("concealer", kNumRowColumns, kColIndex),
+      executor_(&enclave_, &table_, config_),
+      planner_(config_),
+      rng_(0xc0ffee) {}
+
+Status ServiceProvider::LoadRegistry(Slice encrypted_registry) {
+  return enclave_.LoadRegistry(encrypted_registry);
+}
+
+Status ServiceProvider::IngestEpoch(const EncryptedEpoch& epoch) {
+  if (epochs_.count(epoch.epoch_id) > 0) {
+    return Status::InvalidArgument("epoch already ingested");
+  }
+  const uint64_t first_row_id = table_.num_rows();
+  StatusOr<EpochState> state =
+      EpochState::Create(enclave_, config_, epoch, first_row_id);
+  if (!state.ok()) return state.status();
+  CONCEALER_RETURN_IF_ERROR(table_.InsertBatch(epoch.rows));
+  epochs_.emplace(epoch.epoch_id, std::move(*state));
+  return Status::OK();
+}
+
+StatusOr<EpochState*> ServiceProvider::epoch_state(uint64_t epoch_id) {
+  auto it = epochs_.find(epoch_id);
+  if (it == epochs_.end()) return Status::NotFound("epoch not ingested");
+  return &it->second;
+}
+
+std::vector<EpochRowRange> ServiceProvider::EpochRowRanges() const {
+  std::vector<EpochRowRange> ranges;
+  ranges.reserve(epochs_.size());
+  for (const auto& [eid, state] : epochs_) {
+    ranges.push_back(EpochRowRange{eid, state.epoch_start(),
+                                   state.first_row_id(), state.num_rows()});
+  }
+  return ranges;
+}
+
+std::vector<EpochState*> ServiceProvider::EpochsForQuery(const Query& query) {
+  std::vector<EpochState*> out;
+  for (auto& [eid, state] : epochs_) {
+    if (config_.time_buckets > 0) {
+      const uint64_t lo = state.epoch_start();
+      const uint64_t hi = lo + config_.epoch_seconds - 1;
+      if (query.time_hi < lo || query.time_lo > hi) continue;
+    }
+    out.push_back(&state);
+  }
+  return out;
+}
+
+Status ServiceProvider::ExecuteOnEpoch(EpochState* state, const Query& query,
+                                       QueryExecutor::AggState* agg) {
+  StatusOr<std::vector<FetchUnit>> units = planner_.Plan(state, query);
+  if (!units.ok()) return units.status();
+
+  // §8 super-bin routing: widen each BPB bin fetch to its whole super-bin
+  // so retrieval frequency stops tracking per-bin unique-value counts.
+  if (super_bin_factor_ > 0 && query.method == RangeMethod::kBPB) {
+    StatusOr<const BinPlan*> plan =
+        state->GetBinPlan(planner_.pack_algorithm());
+    if (!plan.ok()) return plan.status();
+    StatusOr<SuperBinPlan> sbp = MakeSuperBins(
+        EstimateUniqueValuesPerBin(**plan, state->layout()),
+        super_bin_factor_);
+    if (!sbp.ok()) return sbp.status();
+    StatusOr<std::vector<uint32_t>> needed =
+        planner_.BpbBinIndexes(state, query);
+    if (!needed.ok()) return needed.status();
+    std::set<uint32_t> widened;
+    for (uint32_t b : *needed) {
+      for (uint32_t member : sbp->super_bins[sbp->super_of_bin[b]]) {
+        widened.insert(member);
+      }
+    }
+    units->clear();
+    for (uint32_t b : widened) {
+      StatusOr<FetchUnit> unit = planner_.UnitForBin(state, b);
+      if (!unit.ok()) return unit.status();
+      units->push_back(std::move(*unit));
+    }
+  }
+
+  // Units of one query may fetch overlapping cell-ids (winSecRange
+  // intervals, eBPB columns); rows must count once. Filters are built once
+  // per key version and shared across units.
+  std::unordered_set<std::string> seen_rows;
+  QueryExecutor::FilterCache filter_cache;
+  for (const FetchUnit& unit : *units) {
+    StatusOr<FetchedUnit> fetched =
+        executor_.Fetch(*state, unit, query.oblivious);
+    if (!fetched.ok()) return fetched.status();
+    if (query.verify) {
+      CONCEALER_RETURN_IF_ERROR(executor_.Verify(*state, *fetched));
+      agg->any_verified = true;
+    }
+    CONCEALER_RETURN_IF_ERROR(
+        executor_.FilterInto(*state, query, *fetched, query.oblivious, agg,
+                             &seen_rows, &filter_cache));
+  }
+  return Status::OK();
+}
+
+Status ServiceProvider::ExecuteOnEpochDynamic(EpochState* state,
+                                              const Query& query,
+                                              QueryExecutor::AggState* agg) {
+  if (query.method != RangeMethod::kBPB) {
+    return Status::InvalidArgument(
+        "dynamic mode supports the BPB method only");
+  }
+  StatusOr<const BinPlan*> plan = state->GetBinPlan(planner_.pack_algorithm());
+  if (!plan.ok()) return plan.status();
+  const uint32_t num_bins = static_cast<uint32_t>((*plan)->bins.size());
+
+  StatusOr<std::vector<uint32_t>> needed =
+      planner_.BpbBinIndexes(state, query);
+  if (!needed.ok()) return needed.status();
+
+  // §6: every touched round contributes exactly max(needed, ceil(log2(|Bin|)))
+  // bins — rounds whose data does not satisfy the query still fetch
+  // log2(|Bin|) random bins, hiding which rounds matched.
+  uint32_t target = std::max<uint32_t>(
+      1, static_cast<uint32_t>(std::ceil(std::log2(std::max(2u, num_bins)))));
+  target = std::max(target, static_cast<uint32_t>(needed->size()));
+  target = std::min(target, num_bins);
+
+  std::set<uint32_t> bins(needed->begin(), needed->end());
+  while (bins.size() < target) {
+    bins.insert(static_cast<uint32_t>(rng_.Uniform(num_bins)));
+  }
+
+  for (uint32_t b : bins) {
+    StatusOr<FetchUnit> unit = planner_.UnitForBin(state, b);
+    if (!unit.ok()) return unit.status();
+    std::vector<uint64_t> row_ids;
+    StatusOr<FetchedUnit> fetched =
+        executor_.FetchWithIds(*state, *unit, query.oblivious, &row_ids);
+    if (!fetched.ok()) return fetched.status();
+    if (query.verify) {
+      CONCEALER_RETURN_IF_ERROR(executor_.Verify(*state, *fetched));
+      agg->any_verified = true;
+    }
+    CONCEALER_RETURN_IF_ERROR(
+        executor_.FilterInto(*state, query, *fetched, query.oblivious, agg));
+    CONCEALER_RETURN_IF_ERROR(ReencryptBin(state, b, *fetched, row_ids));
+  }
+  return Status::OK();
+}
+
+Status ServiceProvider::ReencryptBin(EpochState* state, uint32_t bin_index,
+                                     const FetchedUnit& fetched,
+                                     const std::vector<uint64_t>& row_ids) {
+  if (fetched.rows.size() != row_ids.size()) {
+    return Status::Internal("fetched rows and row ids out of step");
+  }
+  const uint64_t old_version = state->bin_key_version(bin_index);
+  const uint64_t new_version = old_version + 1;
+
+  StatusOr<DetCipher> old_det =
+      enclave_.EpochDetCipher(state->epoch_id(), old_version);
+  if (!old_det.ok()) return old_det.status();
+  StatusOr<DetCipher> new_det =
+      enclave_.EpochDetCipher(state->epoch_id(), new_version);
+  if (!new_det.ok()) return new_det.status();
+  StatusOr<RandCipher> new_rand =
+      enclave_.EpochRandCipher(state->epoch_id(), new_version);
+  if (!new_rand.ok()) return new_rand.status();
+
+  // Re-encrypt every fetched row: real rows decrypt-then-encrypt, fake rows
+  // get fresh random payloads; the Index column keeps its (cid, ctr)
+  // plaintext under the new key so future trapdoors still match.
+  std::vector<Row> new_rows(fetched.rows.size());
+  for (size_t i = 0; i < fetched.rows.size(); ++i) {
+    const Row& old_row = fetched.rows[i];
+    StatusOr<Bytes> index_plain =
+        old_det->Decrypt(old_row.columns[kColIndex]);
+    if (!index_plain.ok()) return index_plain.status();
+
+    Row row;
+    row.columns.resize(kNumRowColumns);
+    row.columns[kColIndex] = new_det->Encrypt(*index_plain);
+    StatusOr<Bytes> er = old_det->Decrypt(old_row.columns[kColEr]);
+    if (er.ok()) {
+      StatusOr<Bytes> el = old_det->Decrypt(old_row.columns[kColEl]);
+      StatusOr<Bytes> eo = old_det->Decrypt(old_row.columns[kColEo]);
+      if (!el.ok() || !eo.ok()) {
+        return Status::Corruption("real row with undecryptable filters");
+      }
+      row.columns[kColEl] = new_det->Encrypt(*el);
+      row.columns[kColEo] = new_det->Encrypt(*eo);
+      row.columns[kColEr] = new_det->Encrypt(*er);
+    } else {
+      // Fake row (random payload cannot authenticate): refresh it.
+      row.columns[kColEl] = new_rand->RandomBytes(old_row.columns[kColEl].size());
+      row.columns[kColEo] = new_rand->RandomBytes(old_row.columns[kColEo].size());
+      row.columns[kColEr] = new_rand->RandomBytes(old_row.columns[kColEr].size());
+    }
+    new_rows[i] = std::move(row);
+  }
+
+  // Permute the physical placement of the rewritten rows (the Path-ORAM-
+  // inspired shuffle of §6 step iii): row content i lands at a random
+  // row id from the fetched set.
+  std::vector<uint64_t> shuffled_ids = row_ids;
+  rng_.Shuffle(&shuffled_ids);
+  std::vector<std::pair<uint64_t, Row>> rewrites;
+  rewrites.reserve(new_rows.size());
+  for (size_t i = 0; i < new_rows.size(); ++i) {
+    rewrites.emplace_back(shuffled_ids[i], std::move(new_rows[i]));
+  }
+  CONCEALER_RETURN_IF_ERROR(table_.ReindexRows(rewrites));
+
+  // Refresh the verifiable tags of the bin's cell-ids against the new
+  // ciphertexts (chains stay in counter order).
+  for (const auto& [cid, row_idxs] : fetched.real_row_of_cid) {
+    if (row_idxs.empty()) {
+      state->tags().erase(cid);
+      continue;
+    }
+    Sha256::Digest el{}, eo{}, er{};
+    bool started = false;
+    for (size_t idx : row_idxs) {
+      // The rewritten row for fetched.rows[idx] is rewrites[idx].second
+      // (same position; only the placement id was shuffled).
+      const Row& row = rewrites[idx].second;
+      el = ChainStep(row.columns[kColEl], started ? &el : nullptr);
+      eo = ChainStep(row.columns[kColEo], started ? &eo : nullptr);
+      er = ChainStep(row.columns[kColEr], started ? &er : nullptr);
+      started = true;
+    }
+    state->tags()[cid] = ChainTags{el, eo, er};
+  }
+  state->set_bin_key_version(bin_index, new_version);
+  state->bump_reenc_counter();
+  return Status::OK();
+}
+
+StatusOr<QueryResult> ServiceProvider::Execute(const Query& query) {
+  QueryExecutor::AggState agg;
+  for (EpochState* state : EpochsForQuery(query)) {
+    if (dynamic_mode_) {
+      CONCEALER_RETURN_IF_ERROR(ExecuteOnEpochDynamic(state, query, &agg));
+    } else {
+      CONCEALER_RETURN_IF_ERROR(ExecuteOnEpoch(state, query, &agg));
+    }
+  }
+  return QueryExecutor::Finalize(query, agg);
+}
+
+StatusOr<Bytes> ServiceProvider::ExecuteForUser(const std::string& user_id,
+                                                Slice proof,
+                                                const Query& query) {
+  StatusOr<Session> session = enclave_.Authenticate(user_id, proof);
+  if (!session.ok()) return session.status();
+
+  // Individualized queries (ones naming an observation) may only target the
+  // user's own device (paper §2.1: users are trusted with data that
+  // corresponds to themselves, not with other users' data).
+  if (!query.observation.empty() &&
+      query.observation != session->owned_observation) {
+    return Status::PermissionDenied(
+        "user may not query observation '" + query.observation + "'");
+  }
+
+  StatusOr<QueryResult> result = Execute(query);
+  if (!result.ok()) return result.status();
+
+  // Encrypt the answer under a key only the proving user can derive (the
+  // proof doubles as the user-held shared secret; public-key wrapping is
+  // out of scope per §1.2).
+  RandCipher cipher;
+  CONCEALER_RETURN_IF_ERROR(
+      cipher.SetKey(DeriveKey(proof, "concealer.result", Slice(user_id)),
+                    /*nonce_seed=*/rng_.Next()));
+  return cipher.Encrypt(SerializeQueryResult(*result));
+}
+
+}  // namespace concealer

@@ -1,0 +1,103 @@
+#ifndef CONCEALER_CONCEALER_SERVICE_PROVIDER_H_
+#define CONCEALER_CONCEALER_SERVICE_PROVIDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "concealer/epoch_state.h"
+#include "concealer/query_executor.h"
+#include "concealer/range_planner.h"
+#include "concealer/types.h"
+#include "enclave/enclave.h"
+#include "storage/encrypted_table.h"
+
+namespace concealer {
+
+/// The untrusted service provider (paper §2.1-§2.2): hosts the DBMS
+/// (EncryptedTable) and the enclave, ingests DP epochs (Phase 1), and
+/// executes user queries (Phase 3). The class boundary mirrors the trust
+/// boundary: everything keyed lives in `enclave_` / `EpochState`; the
+/// table and its stats are the adversary's view.
+class ServiceProvider {
+ public:
+  /// `sk` models the DP-provisioned enclave secret (remote attestation and
+  /// key exchange are out of the paper's scope, §1.2).
+  ServiceProvider(ConcealerConfig config, Bytes sk);
+
+  /// Installs the DP's encrypted user registry (Phase 0).
+  Status LoadRegistry(Slice encrypted_registry);
+
+  /// Ingests one encrypted epoch into the DBMS and decodes its metadata
+  /// inside the enclave.
+  Status IngestEpoch(const EncryptedEpoch& epoch);
+
+  /// Phase 3: authenticates the user, enforces that individualized queries
+  /// only touch the user's own observation, executes the query, and
+  /// returns the result encrypted under a key only the proving user can
+  /// derive. `Execute` (below) is the unencrypted variant used by tests
+  /// and benches.
+  StatusOr<Bytes> ExecuteForUser(const std::string& user_id, Slice proof,
+                                 const Query& query);
+
+  /// Executes an already-authorized query (bench/test surface).
+  StatusOr<QueryResult> Execute(const Query& query);
+
+  /// Enables the dynamic-insertion query path (§6): every epoch touched by
+  /// a query contributes exactly max(needed, ceil(log2(#bins))) bins, and
+  /// all fetched bins are re-encrypted under a fresh key and rewritten.
+  void set_dynamic_mode(bool on) { dynamic_mode_ = on; }
+
+  /// Routes every retrieval through super-bins built with factor `f`
+  /// (§8); 0 disables. Requires f to divide each epoch's bin count.
+  void set_super_bin_factor(uint32_t f) { super_bin_factor_ = f; }
+
+  const EncryptedTable& table() const { return table_; }
+  EncryptedTable& mutable_table() { return table_; }
+  const Enclave& enclave() const { return enclave_; }
+  const ConcealerConfig& config() const { return config_; }
+  size_t num_epochs() const { return epochs_.size(); }
+
+  /// Enclave-side epoch state (tests introspect bins/tags through this).
+  StatusOr<EpochState*> epoch_state(uint64_t epoch_id);
+
+  /// Public setup metadata: which row-id span each epoch occupies (the
+  /// Opaque baseline scans these).
+  std::vector<EpochRowRange> EpochRowRanges() const;
+
+ private:
+  // Epochs overlapping the query's time range.
+  std::vector<EpochState*> EpochsForQuery(const Query& query);
+
+  // Per-epoch execution, merging into `agg`.
+  Status ExecuteOnEpoch(EpochState* state, const Query& query,
+                        QueryExecutor::AggState* agg);
+
+  // §6: fetch-and-rewrite path for one epoch in dynamic mode.
+  Status ExecuteOnEpochDynamic(EpochState* state, const Query& query,
+                               QueryExecutor::AggState* agg);
+
+  // Re-encrypts one fetched bin under the next key version, permutes the
+  // row placement, rewrites the DBMS rows and refreshes the enclave tags.
+  Status ReencryptBin(EpochState* state, uint32_t bin_index,
+                      const FetchedUnit& fetched,
+                      const std::vector<uint64_t>& row_ids);
+
+  ConcealerConfig config_;
+  Enclave enclave_;
+  EncryptedTable table_;
+  QueryExecutor executor_;
+  RangePlanner planner_;
+  std::map<uint64_t, EpochState> epochs_;
+  bool dynamic_mode_ = false;
+  uint32_t super_bin_factor_ = 0;
+  Rng rng_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CONCEALER_SERVICE_PROVIDER_H_

@@ -1,0 +1,91 @@
+#include "concealer/super_bins.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace concealer {
+
+StatusOr<SuperBinPlan> MakeSuperBins(
+    const std::vector<uint64_t>& unique_per_bin, uint32_t f) {
+  const uint32_t num_bins = static_cast<uint32_t>(unique_per_bin.size());
+  if (f == 0 || f > num_bins) {
+    return Status::InvalidArgument("f must be in [1, #bins]");
+  }
+  if (num_bins % f != 0) {
+    return Status::InvalidArgument("f must divide the number of bins evenly");
+  }
+  const uint32_t per_super = num_bins / f;
+
+  // Step 1: sort bins by decreasing unique-value count.
+  std::vector<uint32_t> order(num_bins);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (unique_per_bin[a] != unique_per_bin[b]) {
+      return unique_per_bin[a] > unique_per_bin[b];
+    }
+    return a < b;
+  });
+
+  SuperBinPlan plan;
+  plan.super_bins.resize(f);
+  plan.super_of_bin.assign(num_bins, 0);
+  plan.unique_values.assign(f, 0);
+
+  // Steps 3-4: seed each super-bin with one of the f largest bins, then
+  // repeatedly give the next bin to the super-bin that is still below the
+  // current iteration's size and has the fewest unique values.
+  for (uint32_t i = 0; i < num_bins; ++i) {
+    const uint32_t bin = order[i];
+    const uint32_t iteration = i / f;  // Bins each super-bin should have.
+    uint32_t best = f;  // Invalid.
+    for (uint32_t s = 0; s < f; ++s) {
+      if (plan.super_bins[s].size() != iteration) continue;
+      if (best == f || plan.unique_values[s] < plan.unique_values[best]) {
+        best = s;
+      }
+    }
+    if (best == f) {
+      // All super-bins already past this iteration (cannot happen with
+      // f | num_bins, but guard anyway).
+      best = 0;
+      for (uint32_t s = 1; s < f; ++s) {
+        if (plan.super_bins[s].size() < plan.super_bins[best].size()) {
+          best = s;
+        }
+      }
+    }
+    plan.super_bins[best].push_back(bin);
+    plan.super_of_bin[bin] = best;
+    plan.unique_values[best] += unique_per_bin[bin];
+  }
+  (void)per_super;
+  return plan;
+}
+
+std::vector<uint64_t> EstimateUniqueValuesPerBin(const BinPlan& plan,
+                                                 const GridLayout& layout) {
+  // Non-empty cells per cell-id.
+  std::vector<uint64_t> cells_of_cid(layout.count_per_cell_id.size(), 0);
+  for (size_t c = 0; c < layout.cell_of_cell_index.size(); ++c) {
+    if (c < layout.count_per_cell.size() && layout.count_per_cell[c] > 0) {
+      ++cells_of_cid[layout.cell_of_cell_index[c]];
+    }
+  }
+  std::vector<uint64_t> unique(plan.bins.size(), 0);
+  for (size_t b = 0; b < plan.bins.size(); ++b) {
+    for (uint32_t cid : plan.bins[b].cell_ids) {
+      unique[b] += cells_of_cid[cid];
+    }
+  }
+  return unique;
+}
+
+std::vector<uint64_t> UniformWorkloadRetrievals(const SuperBinPlan& plan) {
+  std::vector<uint64_t> retrievals(plan.super_bins.size(), 0);
+  for (size_t s = 0; s < plan.super_bins.size(); ++s) {
+    retrievals[s] = plan.unique_values[s];
+  }
+  return retrievals;
+}
+
+}  // namespace concealer

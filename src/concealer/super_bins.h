@@ -1,0 +1,46 @@
+#ifndef CONCEALER_CONCEALER_SUPER_BINS_H_
+#define CONCEALER_CONCEALER_SUPER_BINS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "concealer/bin_packing.h"
+#include "concealer/types.h"
+
+namespace concealer {
+
+/// Super-bin layout (paper §8): groups the equal-sized bins into `f`
+/// super-bins balanced by the number of unique values per super-bin, so
+/// that under a uniform query workload every super-bin is retrieved an
+/// almost equal number of times — otherwise per-bin retrieval frequency
+/// leaks how many distinct values a bin holds (Example 8.1).
+struct SuperBinPlan {
+  /// super_bins[s] = indexes of the bins grouped into super-bin s.
+  std::vector<std::vector<uint32_t>> super_bins;
+  /// bin index -> super-bin index.
+  std::vector<uint32_t> super_of_bin;
+  /// Unique-value total per super-bin (balance metric, exposed for tests).
+  std::vector<uint64_t> unique_values;
+};
+
+/// Builds super-bins over a bin plan. `unique_per_bin[b]` is the number of
+/// unique attribute values in bin b — the enclave estimates it as the
+/// number of non-empty grid cells mapped to the bin's cell-ids.
+/// `f` must divide the number of bins evenly (paper step 2).
+StatusOr<SuperBinPlan> MakeSuperBins(
+    const std::vector<uint64_t>& unique_per_bin, uint32_t f);
+
+/// Enclave-side estimate of unique values per bin from the grid layout:
+/// counts non-empty cells per cell-id, summed over each bin's cell-ids.
+std::vector<uint64_t> EstimateUniqueValuesPerBin(const BinPlan& plan,
+                                                 const GridLayout& layout);
+
+/// Expected retrieval count per super-bin under a uniform workload where
+/// each unique value is queried once (Example 8.1's analysis); used by
+/// tests and the ablation bench to quantify the balancing.
+std::vector<uint64_t> UniformWorkloadRetrievals(const SuperBinPlan& plan);
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CONCEALER_SUPER_BINS_H_

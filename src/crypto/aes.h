@@ -1,0 +1,51 @@
+#ifndef CONCEALER_CRYPTO_AES_H_
+#define CONCEALER_CRYPTO_AES_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace concealer {
+
+/// AES block cipher (FIPS-197), software implementation supporting 128- and
+/// 256-bit keys. This is the primitive underneath both the deterministic
+/// cipher used for trapdoor-matchable columns (paper §3, "a variant of DET")
+/// and the randomized cipher used for the `End()` non-deterministic fields.
+///
+/// The implementation is a byte-oriented S-box version: constant tables only,
+/// no data-dependent branches in the round function.
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  Aes() = default;
+
+  /// Initializes the key schedule. `key.size()` must be 16 or 32.
+  Status SetKey(Slice key);
+
+  /// Encrypts exactly one 16-byte block (in-place safe: in may equal out).
+  void EncryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+  /// Decrypts exactly one 16-byte block.
+  void DecryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+  bool initialized() const { return rounds_ != 0; }
+
+ private:
+  // Round keys: (rounds_+1) * 16 bytes; max 15 round keys for AES-256.
+  uint8_t round_keys_[15 * kBlockSize] = {};
+  int rounds_ = 0;  // 10 for AES-128, 14 for AES-256.
+};
+
+/// AES in counter mode: a length-preserving keystream cipher. The caller
+/// supplies a 16-byte initial counter block; encryption==decryption.
+/// Used by both DetCipher (synthetic IV) and RandCipher (random nonce).
+void AesCtrXor(const Aes& aes, const uint8_t iv[Aes::kBlockSize], Slice in,
+               uint8_t* out);
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CRYPTO_AES_H_

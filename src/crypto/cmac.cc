@@ -1,0 +1,55 @@
+#include "crypto/cmac.h"
+
+#include <cstring>
+
+namespace concealer {
+
+namespace {
+// Doubling in GF(2^128) with the CMAC polynomial x^128 + x^7 + x^2 + x + 1.
+void GfDouble(const uint8_t in[16], uint8_t out[16]) {
+  const uint8_t carry = in[0] >> 7;
+  for (int i = 0; i < 15; ++i) {
+    out[i] = static_cast<uint8_t>((in[i] << 1) | (in[i + 1] >> 7));
+  }
+  out[15] = static_cast<uint8_t>((in[15] << 1) ^ (carry * 0x87));
+}
+}  // namespace
+
+Status AesCmac::SetKey(Slice key) {
+  CONCEALER_RETURN_IF_ERROR(aes_.SetKey(key));
+  uint8_t zero[16] = {};
+  uint8_t l[16];
+  aes_.EncryptBlock(zero, l);
+  GfDouble(l, k1_);
+  GfDouble(k1_, k2_);
+  return Status::OK();
+}
+
+AesCmac::Tag AesCmac::Compute(Slice data) const {
+  const size_t n = data.size();
+  // Number of full blocks, with the final (possibly partial) block handled
+  // separately per RFC 4493.
+  size_t full_blocks = n == 0 ? 0 : (n - 1) / 16;
+  uint8_t x[16] = {};
+  for (size_t b = 0; b < full_blocks; ++b) {
+    for (int i = 0; i < 16; ++i) x[i] ^= data[16 * b + i];
+    aes_.EncryptBlock(x, x);
+  }
+  uint8_t last[16] = {};
+  const size_t rem = n - full_blocks * 16;
+  if (n > 0 && rem == 16) {
+    for (int i = 0; i < 16; ++i) {
+      last[i] = static_cast<uint8_t>(data[16 * full_blocks + i] ^ k1_[i]);
+    }
+  } else {
+    std::memcpy(last, data.data() + 16 * full_blocks, rem);
+    last[rem] = 0x80;
+    for (int i = 0; i < 16; ++i) last[i] ^= k2_[i];
+  }
+  for (int i = 0; i < 16; ++i) x[i] ^= last[i];
+  Tag tag;
+  aes_.EncryptBlock(x, tag.data());
+  return tag;
+}
+
+}  // namespace concealer

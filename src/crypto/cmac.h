@@ -1,0 +1,34 @@
+#ifndef CONCEALER_CRYPTO_CMAC_H_
+#define CONCEALER_CRYPTO_CMAC_H_
+
+#include <array>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+
+namespace concealer {
+
+/// AES-CMAC (RFC 4493 / NIST SP 800-38B). Provides the synthetic IV for the
+/// deterministic SIV-style cipher: equal plaintexts yield equal IVs (and so
+/// equal ciphertexts), which is exactly the trapdoor-matchable determinism
+/// the Concealer index column requires.
+class AesCmac {
+ public:
+  using Tag = std::array<uint8_t, Aes::kBlockSize>;
+
+  /// `key.size()` must be 16 or 32.
+  Status SetKey(Slice key);
+
+  /// Computes CMAC(key, data).
+  Tag Compute(Slice data) const;
+
+ private:
+  Aes aes_;
+  uint8_t k1_[Aes::kBlockSize];
+  uint8_t k2_[Aes::kBlockSize];
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CRYPTO_CMAC_H_

@@ -1,0 +1,47 @@
+#include "crypto/det_cipher.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+#include "crypto/kdf.h"
+
+namespace concealer {
+
+Status DetCipher::SetKey(Slice key) {
+  if (key.size() != 32) {
+    return Status::InvalidArgument("DetCipher key must be 32 bytes");
+  }
+  const Bytes mac_key = DeriveKey(key, "det.mac", Slice());
+  const Bytes enc_key = DeriveKey(key, "det.enc", Slice());
+  CONCEALER_RETURN_IF_ERROR(cmac_.SetKey(mac_key));
+  CONCEALER_RETURN_IF_ERROR(ctr_aes_.SetKey(enc_key));
+  initialized_ = true;
+  return Status::OK();
+}
+
+Bytes DetCipher::Encrypt(Slice plaintext) const {
+  const AesCmac::Tag iv = cmac_.Compute(plaintext);
+  Bytes out(Aes::kBlockSize + plaintext.size());
+  std::memcpy(out.data(), iv.data(), Aes::kBlockSize);
+  AesCtrXor(ctr_aes_, iv.data(), plaintext, out.data() + Aes::kBlockSize);
+  return out;
+}
+
+StatusOr<Bytes> DetCipher::Decrypt(Slice ciphertext) const {
+  if (ciphertext.size() < Aes::kBlockSize) {
+    return Status::Corruption("DET ciphertext shorter than SIV");
+  }
+  const uint8_t* iv = ciphertext.data();
+  const Slice body(ciphertext.data() + Aes::kBlockSize,
+                   ciphertext.size() - Aes::kBlockSize);
+  Bytes plaintext(body.size());
+  AesCtrXor(ctr_aes_, iv, body, plaintext.data());
+  const AesCmac::Tag expected = cmac_.Compute(plaintext);
+  if (!ConstantTimeEqual(Slice(expected.data(), expected.size()),
+                         Slice(iv, Aes::kBlockSize))) {
+    return Status::Corruption("DET ciphertext failed authentication");
+  }
+  return plaintext;
+}
+
+}  // namespace concealer

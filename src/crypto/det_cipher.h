@@ -1,0 +1,52 @@
+#ifndef CONCEALER_CRYPTO_DET_CIPHER_H_
+#define CONCEALER_CRYPTO_DET_CIPHER_H_
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+#include "crypto/cmac.h"
+
+namespace concealer {
+
+/// Deterministic authenticated cipher (SIV construction, RFC 5297 style):
+///
+///   iv  = AES-CMAC(k_mac, plaintext)
+///   ct  = iv || AES-CTR(k_enc, iv, plaintext)
+///
+/// This is the paper's `E_k(·)` (§3, Algorithm 1): equal plaintexts always
+/// produce equal ciphertexts, which is what lets the enclave form trapdoors
+/// `E_k(cid‖ctr)` that match the DBMS index column byte-for-byte, and filter
+/// values `E_k(l‖t)` that match stored columns with plain string comparison.
+/// Ciphertext indistinguishability of the *dataset* is restored at a higher
+/// level by concatenating each value with its timestamp, making every
+/// encrypted plaintext unique (paper §3).
+///
+/// Decryption recomputes the CMAC and rejects mismatches, so a flipped
+/// ciphertext bit is detected (kCorruption).
+class DetCipher {
+ public:
+  static constexpr size_t kOverhead = Aes::kBlockSize;  // The 16-byte SIV.
+
+  DetCipher() = default;
+
+  /// Derives independent MAC and CTR subkeys from a 32-byte master key.
+  Status SetKey(Slice key);
+
+  /// Deterministically encrypts `plaintext`.
+  Bytes Encrypt(Slice plaintext) const;
+
+  /// Decrypts and authenticates. Fails with kCorruption on tag mismatch or
+  /// truncated input.
+  StatusOr<Bytes> Decrypt(Slice ciphertext) const;
+
+  bool initialized() const { return initialized_; }
+
+ private:
+  AesCmac cmac_;
+  Aes ctr_aes_;
+  bool initialized_ = false;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CRYPTO_DET_CIPHER_H_

@@ -1,0 +1,35 @@
+#include "crypto/grid_hash.h"
+
+#include <cassert>
+
+#include "common/coding.h"
+#include "crypto/hmac.h"
+#include "crypto/kdf.h"
+
+namespace concealer {
+
+Status GridHash::SetKey(Slice key) {
+  if (key.empty()) {
+    return Status::InvalidArgument("GridHash key must be non-empty");
+  }
+  key_ = DeriveKey(key, "grid.hash", Slice());
+  return Status::OK();
+}
+
+uint32_t GridHash::Map(Slice value, uint32_t buckets) const {
+  assert(buckets > 0);
+  const Sha256::Digest d = HmacSha256::Compute(key_, value);
+  // Use the first 8 bytes as a uniform 64-bit value; modulo bias is
+  // negligible for bucket counts far below 2^64.
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[i];
+  return static_cast<uint32_t>(v % buckets);
+}
+
+uint32_t GridHash::Map64(uint64_t value, uint32_t buckets) const {
+  Bytes enc;
+  PutFixed64(&enc, value);
+  return Map(enc, buckets);
+}
+
+}  // namespace concealer

@@ -1,0 +1,35 @@
+#ifndef CONCEALER_CRYPTO_GRID_HASH_H_
+#define CONCEALER_CRYPTO_GRID_HASH_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace concealer {
+
+/// The keyed hash function `H` of Algorithm 1: maps attribute values into
+/// grid coordinates. Both DP (cell formation, Alg. 1 line 8) and the enclave
+/// (cell identification, Alg. 2 line 3) must evaluate the same `H`, so it is
+/// keyed by a secret shared between them — implemented as truncated
+/// HMAC-SHA256 reduced modulo the number of buckets.
+class GridHash {
+ public:
+  GridHash() = default;
+
+  Status SetKey(Slice key);
+
+  /// Maps `value` uniformly into [0, buckets). Requires buckets > 0.
+  uint32_t Map(Slice value, uint32_t buckets) const;
+
+  /// Convenience for integer-valued attributes (location ids, subinterval
+  /// indices): hashes the 64-bit little-endian encoding.
+  uint32_t Map64(uint64_t value, uint32_t buckets) const;
+
+ private:
+  Bytes key_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CRYPTO_GRID_HASH_H_

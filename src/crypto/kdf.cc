@@ -1,0 +1,31 @@
+#include "crypto/kdf.h"
+
+#include "common/coding.h"
+#include "crypto/hmac.h"
+
+namespace concealer {
+
+Bytes DeriveKey(Slice master, const std::string& label, Slice context) {
+  Bytes input;
+  input.reserve(label.size() + 1 + context.size());
+  PutBytes(&input, Slice(label));
+  input.push_back(0);  // Domain separator between label and context.
+  PutBytes(&input, context);
+  const Sha256::Digest d = HmacSha256::Compute(master, input);
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes DeriveKey64(Slice master, const std::string& label, uint64_t context) {
+  Bytes ctx;
+  PutFixed64(&ctx, context);
+  return DeriveKey(master, label, ctx);
+}
+
+Bytes EpochKey(Slice sk, uint64_t epoch_id, uint64_t reenc_counter) {
+  Bytes ctx;
+  PutFixed64(&ctx, epoch_id);
+  PutFixed64(&ctx, reenc_counter);
+  return DeriveKey(sk, "concealer.epoch", ctx);
+}
+
+}  // namespace concealer

@@ -1,0 +1,77 @@
+#include "crypto/rand_cipher.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "crypto/hmac.h"
+#include "crypto/kdf.h"
+
+namespace concealer {
+
+Status RandCipher::SetKey(Slice key, uint64_t nonce_seed) {
+  if (key.size() != 32) {
+    return Status::InvalidArgument("RandCipher key must be 32 bytes");
+  }
+  const Bytes enc_key = DeriveKey(key, "rand.enc", Slice());
+  const Bytes drbg_key = DeriveKey(key, "rand.drbg", Slice());
+  mac_key_ = DeriveKey(key, "rand.mac", Slice());
+  CONCEALER_RETURN_IF_ERROR(enc_aes_.SetKey(enc_key));
+  CONCEALER_RETURN_IF_ERROR(drbg_aes_.SetKey(drbg_key));
+  nonce_seed_ = nonce_seed;
+  nonce_counter_ = 0;
+  initialized_ = true;
+  return Status::OK();
+}
+
+void RandCipher::NextNonce(uint8_t out[kNonceSize]) {
+  // Nonce = AES(drbg_key, seed || counter): unique per (seed, counter) and
+  // unpredictable without the key.
+  uint8_t block[Aes::kBlockSize] = {};
+  for (int i = 0; i < 8; ++i) {
+    block[i] = static_cast<uint8_t>(nonce_seed_ >> (8 * i));
+    block[8 + i] = static_cast<uint8_t>(nonce_counter_ >> (8 * i));
+  }
+  ++nonce_counter_;
+  drbg_aes_.EncryptBlock(block, out);
+}
+
+Bytes RandCipher::Encrypt(Slice plaintext) {
+  Bytes out(kNonceSize + plaintext.size() + kTagSize);
+  NextNonce(out.data());
+  AesCtrXor(enc_aes_, out.data(), plaintext, out.data() + kNonceSize);
+  const Sha256::Digest tag = HmacSha256::Compute(
+      mac_key_, Slice(out.data(), kNonceSize + plaintext.size()));
+  std::memcpy(out.data() + kNonceSize + plaintext.size(), tag.data(),
+              kTagSize);
+  return out;
+}
+
+StatusOr<Bytes> RandCipher::Decrypt(Slice ciphertext) const {
+  if (ciphertext.size() < kOverhead) {
+    return Status::Corruption("randomized ciphertext too short");
+  }
+  const size_t body_len = ciphertext.size() - kOverhead;
+  const Sha256::Digest tag = HmacSha256::Compute(
+      mac_key_, Slice(ciphertext.data(), kNonceSize + body_len));
+  if (!ConstantTimeEqual(Slice(tag.data(), kTagSize),
+                         Slice(ciphertext.data() + kNonceSize + body_len,
+                               kTagSize))) {
+    return Status::Corruption("randomized ciphertext failed authentication");
+  }
+  Bytes plaintext(body_len);
+  AesCtrXor(enc_aes_, ciphertext.data(),
+            Slice(ciphertext.data() + kNonceSize, body_len),
+            plaintext.data());
+  return plaintext;
+}
+
+Bytes RandCipher::RandomBytes(size_t n) {
+  Bytes out(n);
+  uint8_t nonce[kNonceSize];
+  NextNonce(nonce);
+  const Bytes zeros(n, 0);
+  AesCtrXor(enc_aes_, nonce, zeros, out.data());
+  return out;
+}
+
+}  // namespace concealer

@@ -1,0 +1,63 @@
+#ifndef CONCEALER_CRYPTO_RAND_CIPHER_H_
+#define CONCEALER_CRYPTO_RAND_CIPHER_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+
+namespace concealer {
+
+/// Randomized (IND-CPA) authenticated cipher — the paper's `End()`
+/// non-deterministic encryption, used for fake tuples, the `Ecell_id[]` /
+/// `Ec_tuple[]` vectors and the verifiable tags:
+///
+///   nonce = next unique 16-byte value from an AES-CTR DRBG
+///   body  = AES-CTR(k_enc, nonce, plaintext)
+///   tag   = HMAC(k_mac, nonce || body)[0..15]       (encrypt-then-MAC)
+///   ct    = nonce || body || tag
+///
+/// Two encryptions of the same plaintext differ in every byte with
+/// overwhelming probability, so fake tuples are indistinguishable from real
+/// ones at the service provider.
+class RandCipher {
+ public:
+  static constexpr size_t kNonceSize = Aes::kBlockSize;
+  static constexpr size_t kTagSize = 16;
+  static constexpr size_t kOverhead = kNonceSize + kTagSize;
+
+  RandCipher() = default;
+
+  /// Derives subkeys from a 32-byte master key. `nonce_seed` makes nonce
+  /// generation reproducible across runs (useful in tests); distinct
+  /// instances should pass distinct seeds.
+  Status SetKey(Slice key, uint64_t nonce_seed = 0);
+
+  /// Encrypts with a fresh nonce (stateful; not const).
+  Bytes Encrypt(Slice plaintext);
+
+  /// Decrypts and authenticates.
+  StatusOr<Bytes> Decrypt(Slice ciphertext) const;
+
+  /// Emits `n` pseudorandom bytes from the keyed DRBG. Used to synthesize
+  /// fake tuple payloads that are byte-wise indistinguishable from real
+  /// ciphertext of the same length.
+  Bytes RandomBytes(size_t n);
+
+  bool initialized() const { return initialized_; }
+
+ private:
+  void NextNonce(uint8_t out[kNonceSize]);
+
+  Aes enc_aes_;
+  Aes drbg_aes_;
+  Bytes mac_key_;
+  uint64_t nonce_counter_ = 0;
+  uint64_t nonce_seed_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CRYPTO_RAND_CIPHER_H_

@@ -1,0 +1,39 @@
+#ifndef CONCEALER_CRYPTO_SHA256_H_
+#define CONCEALER_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace concealer {
+
+/// SHA-256 (FIPS-180-4). Streaming interface plus a one-shot helper.
+/// Used for the hash chains / verifiable tags (paper §3, Lines 16-21) and
+/// as the PRF core of HMAC.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(Slice data);
+  Digest Finish();
+
+  /// One-shot convenience: digest of `data`.
+  static Digest Hash(Slice data);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t h_[8];
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+  uint64_t total_len_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CRYPTO_SHA256_H_

@@ -1,0 +1,76 @@
+#include "enclave/enclave.h"
+
+#include "crypto/hmac.h"
+#include "crypto/kdf.h"
+
+namespace concealer {
+
+Enclave::Enclave(Bytes sk) : sk_(std::move(sk)) {
+  // GridHash::SetKey only fails on an empty key; the constructor contract
+  // requires a 32-byte sk, so treat misuse as a programming error.
+  const Status st = grid_hash_.SetKey(sk_);
+  (void)st;
+}
+
+Status Enclave::LoadRegistry(Slice encrypted_registry) {
+  ++ecalls_;
+  RandCipher cipher;
+  CONCEALER_RETURN_IF_ERROR(
+      cipher.SetKey(DeriveKey(sk_, "registry", Slice())));
+  StatusOr<Bytes> plain = cipher.Decrypt(encrypted_registry);
+  if (!plain.ok()) return plain.status();
+  StatusOr<Registry> reg = Registry::Deserialize(*plain);
+  if (!reg.ok()) return reg.status();
+  registry_ = std::move(*reg);
+  registry_loaded_ = true;
+  return Status::OK();
+}
+
+StatusOr<Session> Enclave::Authenticate(const std::string& user_id,
+                                        Slice proof) {
+  ++ecalls_;
+  if (!registry_loaded_) {
+    return Status::FailedPrecondition("registry not loaded");
+  }
+  StatusOr<UserRecord> rec = registry_.Find(user_id);
+  if (!rec.ok()) {
+    return Status::PermissionDenied("unknown user: " + user_id);
+  }
+  if (!ConstantTimeEqual(rec->credential, proof)) {
+    return Status::PermissionDenied("bad credential for user: " + user_id);
+  }
+  Session session;
+  session.user_id = rec->user_id;
+  session.owned_observation = rec->owned_observation;
+  return session;
+}
+
+StatusOr<DetCipher> Enclave::EpochDetCipher(uint64_t epoch_id,
+                                            uint64_t reenc_counter) const {
+  ++ecalls_;
+  DetCipher cipher;
+  CONCEALER_RETURN_IF_ERROR(
+      cipher.SetKey(EpochKey(sk_, epoch_id, reenc_counter)));
+  return cipher;
+}
+
+StatusOr<RandCipher> Enclave::EpochRandCipher(uint64_t epoch_id,
+                                              uint64_t reenc_counter) const {
+  ++ecalls_;
+  RandCipher cipher;
+  CONCEALER_RETURN_IF_ERROR(
+      cipher.SetKey(EpochKey(sk_, epoch_id, reenc_counter),
+                    /*nonce_seed=*/epoch_id ^ (reenc_counter << 32)));
+  return cipher;
+}
+
+StatusOr<Bytes> Enclave::DecryptEpochBlob(uint64_t epoch_id,
+                                          Slice ciphertext) const {
+  ++ecalls_;
+  RandCipher cipher;
+  CONCEALER_RETURN_IF_ERROR(
+      cipher.SetKey(EpochKey(sk_, epoch_id, /*reenc_counter=*/0)));
+  return cipher.Decrypt(ciphertext);
+}
+
+}  // namespace concealer

@@ -1,0 +1,71 @@
+#ifndef CONCEALER_ENCLAVE_OBLIVIOUS_H_
+#define CONCEALER_ENCLAVE_OBLIVIOUS_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace concealer {
+
+/// Register-oblivious primitives (paper §4.3, Figure 2, after Ohrimenko et
+/// al.): computations whose instruction and memory traces do not depend on
+/// the data values. The paper implements `ogreater`/`omove` with CMOV;
+/// here they are branchless bit arithmetic — the observable property the
+/// simulation preserves is that the same operation sequence executes for
+/// any input.
+///
+/// `ObliviousOpCounter` instruments every primitive so tests can assert
+/// trace-equality: two runs over different data must produce identical
+/// counts.
+struct ObliviousOpCounter {
+  uint64_t greater_ops = 0;
+  uint64_t move_ops = 0;
+  uint64_t swap_ops = 0;
+
+  void Reset() { *this = ObliviousOpCounter(); }
+  uint64_t Total() const { return greater_ops + move_ops + swap_ops; }
+};
+
+/// Thread-local counter used by all primitives below.
+ObliviousOpCounter& OpCounter();
+
+/// Branchless `x > y` (the paper's `ogreater`). Returns 1 or 0.
+uint64_t OGreater(uint64_t x, uint64_t y);
+
+/// Branchless select (the paper's `omove`): returns `x` if cond != 0,
+/// else `y`.
+uint64_t OMove(uint64_t cond, uint64_t x, uint64_t y);
+
+/// Branchless conditional swap of two equal-length byte buffers: swaps iff
+/// cond != 0, but reads and writes every byte of both buffers regardless.
+void OSwapBytes(uint64_t cond, uint8_t* a, uint8_t* b, size_t len);
+
+/// Branchless conditional swap of two uint64 values.
+void OSwap64(uint64_t cond, uint64_t* a, uint64_t* b);
+
+/// A fixed-size record sortable by the oblivious sorting network. Payload
+/// buffers of all records in one sort must have equal length (callers pad —
+/// bins already have identical tuple sizes by construction).
+struct SortRecord {
+  uint64_t key = 0;
+  Bytes payload;
+};
+
+/// Bitonic sort (Batcher '68) — a data-independent sorting network: the
+/// sequence of compare-exchange positions depends only on n, never on the
+/// data. Non-power-of-two inputs are padded internally with +inf keys.
+/// Sorts ascending by `key`.
+void BitonicSort(std::vector<SortRecord>* records);
+
+/// Oblivious compaction convenience built on BitonicSort: stably moves all
+/// records with key `v = 1` in front of records with `v = 0` (the paper's
+/// Step 3/4 "sort by v so queries with v=1 precede the rest"). Records must
+/// carry key ∈ {0,1}; the original rank is mixed into the sort key so the
+/// result is stable.
+void ObliviousPartitionByFlag(std::vector<SortRecord>* records);
+
+}  // namespace concealer
+
+#endif  // CONCEALER_ENCLAVE_OBLIVIOUS_H_

@@ -1,0 +1,69 @@
+#include "enclave/registry.h"
+
+#include "common/coding.h"
+#include "crypto/hmac.h"
+
+namespace concealer {
+
+Status Registry::AddUser(const std::string& user_id, Slice user_secret,
+                         const std::string& owned_observation) {
+  if (user_id.empty()) {
+    return Status::InvalidArgument("empty user id");
+  }
+  for (const auto& u : users_) {
+    if (u.user_id == user_id) {
+      return Status::InvalidArgument("duplicate user id: " + user_id);
+    }
+  }
+  UserRecord rec;
+  rec.user_id = user_id;
+  rec.owned_observation = owned_observation;
+  rec.credential = MakeProof(user_secret, user_id);
+  users_.push_back(std::move(rec));
+  return Status::OK();
+}
+
+StatusOr<UserRecord> Registry::Find(const std::string& user_id) const {
+  for (const auto& u : users_) {
+    if (u.user_id == user_id) return u;
+  }
+  return Status::NotFound("user not registered: " + user_id);
+}
+
+Bytes Registry::Serialize() const {
+  Bytes out;
+  PutFixed32(&out, static_cast<uint32_t>(users_.size()));
+  for (const auto& u : users_) {
+    PutLengthPrefixed(&out, Slice(u.user_id));
+    PutLengthPrefixed(&out, Slice(u.owned_observation));
+    PutLengthPrefixed(&out, Slice(u.credential));
+  }
+  return out;
+}
+
+StatusOr<Registry> Registry::Deserialize(Slice data) {
+  if (data.size() < 4) return Status::Corruption("registry blob too short");
+  const uint32_t n = DecodeFixed32(data.data());
+  size_t offset = 4;
+  Registry reg;
+  for (uint32_t i = 0; i < n; ++i) {
+    UserRecord rec;
+    Bytes uid, obs;
+    if (!GetLengthPrefixed(data, &offset, &uid) ||
+        !GetLengthPrefixed(data, &offset, &obs) ||
+        !GetLengthPrefixed(data, &offset, &rec.credential)) {
+      return Status::Corruption("registry blob truncated");
+    }
+    rec.user_id.assign(uid.begin(), uid.end());
+    rec.owned_observation.assign(obs.begin(), obs.end());
+    reg.users_.push_back(std::move(rec));
+  }
+  return reg;
+}
+
+Bytes Registry::MakeProof(Slice user_secret, const std::string& user_id) {
+  const Sha256::Digest d = HmacSha256::Compute(user_secret, Slice(user_id));
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace concealer

@@ -1,0 +1,60 @@
+#ifndef CONCEALER_ENCLAVE_REGISTRY_H_
+#define CONCEALER_ENCLAVE_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace concealer {
+
+/// One registered user (paper §2, R2 and Phase 0): users negotiate with the
+/// data provider, which records who may query which service provider, and
+/// which observation value (device id) belongs to them for individualized
+/// queries. Credentials are MAC-based tokens standing in for the paper's
+/// public/private key pairs — the property exercised is identical: only a
+/// principal holding the user secret can produce a valid proof, and the
+/// enclave validates it against DP-provisioned state.
+struct UserRecord {
+  std::string user_id;
+  /// Observation value owned by this user (e.g. their device id). Empty
+  /// means the user may only run aggregate queries.
+  std::string owned_observation;
+  /// HMAC(user_secret, user_id): what the enclave compares proofs against.
+  Bytes credential;
+};
+
+/// The registry DP provisions to SP in encrypted form. Plain container plus
+/// (de)serialization; encryption/decryption is done by DataProvider/Enclave
+/// with the shared secret key.
+class Registry {
+ public:
+  Registry() = default;
+
+  /// Registers a user. `user_secret` never leaves DP/user; only the derived
+  /// credential is stored. Duplicate user ids are rejected.
+  Status AddUser(const std::string& user_id, Slice user_secret,
+                 const std::string& owned_observation);
+
+  /// Finds a user record; kNotFound if absent.
+  StatusOr<UserRecord> Find(const std::string& user_id) const;
+
+  size_t size() const { return users_.size(); }
+  const std::vector<UserRecord>& users() const { return users_; }
+
+  /// Deterministic byte serialization (for encryption and transfer to SP).
+  Bytes Serialize() const;
+  static StatusOr<Registry> Deserialize(Slice data);
+
+  /// Computes the proof a user presents when querying: HMAC(secret, uid).
+  static Bytes MakeProof(Slice user_secret, const std::string& user_id);
+
+ private:
+  std::vector<UserRecord> users_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_ENCLAVE_REGISTRY_H_

@@ -1,0 +1,237 @@
+#include "storage/bplus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace concealer {
+
+struct BPlusTree::Node {
+  bool is_leaf;
+  std::vector<Bytes> keys;
+  // Leaf payloads, parallel to `keys`.
+  std::vector<uint64_t> values;
+  // Internal children: children.size() == keys.size() + 1.
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaf chain for ordered scans.
+  Node* next_leaf = nullptr;
+
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BPlusTree::SplitResult {
+  // Non-null when the child split: `separator` is the smallest key of
+  // `right`, which must be inserted into the parent.
+  std::unique_ptr<Node> right;
+  Bytes separator;
+};
+
+namespace {
+
+// Index of the first key in `keys` that is >= `key`.
+size_t LowerBound(const std::vector<Bytes>& keys, Slice key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (Slice(keys[mid]).Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child index to descend into for `key`: first separator > key goes left.
+size_t ChildIndex(const std::vector<Bytes>& keys, Slice key) {
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (Slice(keys[mid]).Compare(key) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree() : root_(std::make_unique<Node>(/*leaf=*/true)) {}
+BPlusTree::~BPlusTree() = default;
+
+BPlusTree::SplitResult BPlusTree::InsertRecursive(Node* node, Slice key,
+                                                  uint64_t row_id,
+                                                  Status* st) {
+  if (node->is_leaf) {
+    const size_t pos = LowerBound(node->keys, key);
+    if (pos < node->keys.size() && Slice(node->keys[pos]) == key) {
+      *st = Status::InvalidArgument("duplicate index key");
+      return {};
+    }
+    node->keys.insert(node->keys.begin() + pos, key.ToBytes());
+    node->values.insert(node->values.begin() + pos, row_id);
+    if (node->keys.size() <= kFanout) return {};
+
+    // Split the leaf in half; right half moves to a new node.
+    const size_t mid = node->keys.size() / 2;
+    auto right = std::make_unique<Node>(/*leaf=*/true);
+    right->keys.assign(std::make_move_iterator(node->keys.begin() + mid),
+                       std::make_move_iterator(node->keys.end()));
+    right->values.assign(node->values.begin() + mid, node->values.end());
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    right->next_leaf = node->next_leaf;
+    node->next_leaf = right.get();
+    SplitResult r;
+    r.separator = right->keys.front();
+    r.right = std::move(right);
+    return r;
+  }
+
+  const size_t ci = ChildIndex(node->keys, key);
+  SplitResult child_split =
+      InsertRecursive(node->children[ci].get(), key, row_id, st);
+  if (!st->ok() || child_split.right == nullptr) return {};
+
+  node->keys.insert(node->keys.begin() + ci,
+                    std::move(child_split.separator));
+  node->children.insert(node->children.begin() + ci + 1,
+                        std::move(child_split.right));
+  if (node->keys.size() <= kFanout) return {};
+
+  // Split the internal node: middle separator is promoted (not kept).
+  const size_t mid = node->keys.size() / 2;
+  auto right = std::make_unique<Node>(/*leaf=*/false);
+  SplitResult r;
+  r.separator = std::move(node->keys[mid]);
+  right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                     std::make_move_iterator(node->keys.end()));
+  for (size_t i = mid + 1; i < node->children.size(); ++i) {
+    right->children.push_back(std::move(node->children[i]));
+  }
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  r.right = std::move(right);
+  return r;
+}
+
+Status BPlusTree::Insert(Slice key, uint64_t row_id) {
+  Status st;
+  SplitResult split = InsertRecursive(root_.get(), key, row_id, &st);
+  if (!st.ok()) return st;
+  if (split.right != nullptr) {
+    auto new_root = std::make_unique<Node>(/*leaf=*/false);
+    new_root->keys.push_back(std::move(split.separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split.right));
+    root_ = std::move(new_root);
+    ++height_;
+  }
+  ++size_;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> BPlusTree::Get(Slice key) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children[ChildIndex(node->keys, key)].get();
+  }
+  const size_t pos = LowerBound(node->keys, key);
+  if (pos < node->keys.size() && Slice(node->keys[pos]) == key) {
+    return node->values[pos];
+  }
+  return Status::NotFound("index key not present");
+}
+
+bool BPlusTree::Contains(Slice key) const { return Get(key).ok(); }
+
+Status BPlusTree::Delete(Slice key) {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children[ChildIndex(node->keys, key)].get();
+  }
+  const size_t pos = LowerBound(node->keys, key);
+  if (pos >= node->keys.size() || Slice(node->keys[pos]) != key) {
+    return Status::NotFound("index key not present");
+  }
+  node->keys.erase(node->keys.begin() + pos);
+  node->values.erase(node->values.begin() + pos);
+  --size_;
+  had_deletes_ = true;
+  return Status::OK();
+}
+
+void BPlusTree::Scan(
+    const std::function<bool(Slice, uint64_t)>& visitor) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = node->children.front().get();
+  for (; node != nullptr; node = node->next_leaf) {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      if (!visitor(node->keys[i], node->values[i])) return;
+    }
+  }
+}
+
+Status BPlusTree::CheckInvariants() const {
+  int leaf_depth = -1;
+  size_t leaf_keys = 0;
+  CONCEALER_RETURN_IF_ERROR(CheckNode(root_.get(), 0, &leaf_depth, &leaf_keys,
+                                      /*is_root=*/true, had_deletes_));
+  if (leaf_keys != size_) {
+    return Status::Internal("size() disagrees with leaf key count");
+  }
+  // Leaf chain must visit exactly size_ keys in strictly increasing order.
+  size_t chained = 0;
+  Bytes prev;
+  bool has_prev = false;
+  bool ordered = true;
+  Scan([&](Slice k, uint64_t) {
+    if (has_prev && Slice(prev).Compare(k) >= 0) ordered = false;
+    prev = k.ToBytes();
+    has_prev = true;
+    ++chained;
+    return true;
+  });
+  if (!ordered) return Status::Internal("leaf chain not strictly increasing");
+  if (chained != size_) return Status::Internal("leaf chain key count wrong");
+  return Status::OK();
+}
+
+Status BPlusTree::CheckNode(const Node* node, int depth, int* leaf_depth,
+                            size_t* leaf_keys, bool is_root,
+                            bool relax_occupancy) {
+  if (node->keys.size() > kFanout) {
+    return Status::Internal("node overflow");
+  }
+  if (!is_root && !relax_occupancy && node->keys.size() < kFanout / 4) {
+    // Splits produce at-least-half-full nodes; quarter-full is a loose lower
+    // bound that tolerates no-delete trees built by repeated splits.
+    return Status::Internal("node underflow");
+  }
+  for (size_t i = 1; i < node->keys.size(); ++i) {
+    if (Slice(node->keys[i - 1]).Compare(node->keys[i]) >= 0) {
+      return Status::Internal("node keys not strictly increasing");
+    }
+  }
+  if (node->is_leaf) {
+    if (node->values.size() != node->keys.size()) {
+      return Status::Internal("leaf key/value size mismatch");
+    }
+    if (*leaf_depth == -1) *leaf_depth = depth;
+    if (*leaf_depth != depth) return Status::Internal("leaves at mixed depth");
+    *leaf_keys += node->keys.size();
+    return Status::OK();
+  }
+  if (node->children.size() != node->keys.size() + 1) {
+    return Status::Internal("internal child count mismatch");
+  }
+  for (const auto& child : node->children) {
+    CONCEALER_RETURN_IF_ERROR(
+        CheckNode(child.get(), depth + 1, leaf_depth, leaf_keys, false,
+                  relax_occupancy));
+  }
+  return Status::OK();
+}
+
+}  // namespace concealer

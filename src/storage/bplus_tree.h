@@ -1,0 +1,82 @@
+#ifndef CONCEALER_STORAGE_BPLUS_TREE_H_
+#define CONCEALER_STORAGE_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace concealer {
+
+/// In-memory B+-tree mapping opaque byte-string keys to 64-bit row ids.
+///
+/// This is the stand-in for the DBMS index the paper relies on ("Concealer
+/// exploits the index supported by MySQL", §1): the data provider emits one
+/// opaque `Index(L,T)` ciphertext per row, the storage engine indexes that
+/// column with an ordinary B-tree, and the enclave's trapdoors are exact-
+/// match probes into this tree. Keys are unique (DET over `cid‖ctr` is
+/// injective within an epoch).
+///
+/// Leaf nodes are linked for ordered scans; internal nodes hold separator
+/// keys. Fanout is fixed at compile time.
+class BPlusTree {
+ public:
+  static constexpr int kFanout = 64;  // Max keys per node.
+
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts a key→row_id mapping. Fails with kInvalidArgument on duplicate
+  /// keys (encrypted index values are unique by construction; a duplicate
+  /// indicates data corruption or a misused epoch key).
+  Status Insert(Slice key, uint64_t row_id);
+
+  /// Exact-match lookup. Returns kNotFound if absent.
+  StatusOr<uint64_t> Get(Slice key) const;
+
+  /// Removes a key (lazy deletion: the entry leaves its leaf but no
+  /// rebalancing occurs; nodes may drop below the usual occupancy floor).
+  /// Deletes happen only on the rare dynamic-insertion re-encryption path,
+  /// so tree quality is unaffected in practice. Returns kNotFound if absent.
+  Status Delete(Slice key);
+
+  /// True iff `key` is present.
+  bool Contains(Slice key) const;
+
+  size_t size() const { return size_; }
+  /// Height of the tree (1 = a single leaf). Exposed for tests.
+  int height() const { return height_; }
+
+  /// In-order visitation of all (key, row_id) pairs. Visitor returns false
+  /// to stop early.
+  void Scan(const std::function<bool(Slice, uint64_t)>& visitor) const;
+
+  /// Validates B+-tree invariants (sorted keys, node occupancy, uniform leaf
+  /// depth, leaf chain consistency). Used by property tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct SplitResult;
+
+  SplitResult InsertRecursive(Node* node, Slice key, uint64_t row_id,
+                              Status* st);
+  static Status CheckNode(const Node* node, int depth, int* leaf_depth,
+                          size_t* leaf_keys, bool is_root,
+                          bool relax_occupancy);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  int height_ = 1;
+  bool had_deletes_ = false;  // Relaxes the occupancy invariant check.
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_STORAGE_BPLUS_TREE_H_

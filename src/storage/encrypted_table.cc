@@ -1,0 +1,102 @@
+#include "storage/encrypted_table.h"
+
+#include <utility>
+
+namespace concealer {
+
+EncryptedTable::EncryptedTable(std::string name, size_t num_columns,
+                               size_t index_column)
+    : name_(std::move(name)),
+      num_columns_(num_columns),
+      index_column_(index_column) {}
+
+Status EncryptedTable::Insert(Row row) {
+  if (row.columns.size() != num_columns_) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  const uint64_t row_id = store_.Append(std::move(row));
+  CONCEALER_RETURN_IF_ERROR(
+      index_.Insert(store_.GetRef(row_id)->columns[index_column_], row_id));
+  ++stats_.rows_inserted;
+  return Status::OK();
+}
+
+Status EncryptedTable::InsertBatch(std::vector<Row> rows) {
+  for (auto& row : rows) {
+    CONCEALER_RETURN_IF_ERROR(Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+std::vector<Row> EncryptedTable::FetchByIndexKeys(
+    const std::vector<Bytes>& keys) const {
+  std::vector<Row> out;
+  out.reserve(keys.size());
+  for (const Bytes& key : keys) {
+    ++stats_.index_probes;
+    StatusOr<uint64_t> row_id = index_.Get(key);
+    if (!row_id.ok()) continue;
+    ++stats_.index_hits;
+    ++stats_.rows_fetched;
+    out.push_back(*store_.GetRef(*row_id));
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, Row>> EncryptedTable::FetchWithIds(
+    const std::vector<Bytes>& keys) const {
+  std::vector<std::pair<uint64_t, Row>> out;
+  out.reserve(keys.size());
+  for (const Bytes& key : keys) {
+    ++stats_.index_probes;
+    StatusOr<uint64_t> row_id = index_.Get(key);
+    if (!row_id.ok()) continue;
+    ++stats_.index_hits;
+    ++stats_.rows_fetched;
+    out.emplace_back(*row_id, *store_.GetRef(*row_id));
+  }
+  return out;
+}
+
+void EncryptedTable::Scan(
+    const std::function<bool(const Row&)>& visitor) const {
+  for (uint64_t id = 0; id < store_.size(); ++id) {
+    ++stats_.rows_scanned;
+    if (!visitor(*store_.GetRef(id))) return;
+  }
+}
+
+Status EncryptedTable::ReindexRows(
+    const std::vector<std::pair<uint64_t, Row>>& rows) {
+  // Two phases: drop every affected index entry first, then rewrite and
+  // re-insert. A one-pass delete/insert would collide when the batch
+  // permutes rows (the dynamic-insertion shuffle does exactly that).
+  for (const auto& [row_id, row] : rows) {
+    if (row.columns.size() != num_columns_) {
+      return Status::InvalidArgument("row arity mismatch");
+    }
+    const Row* old_row = store_.GetRef(row_id);
+    if (old_row == nullptr) return Status::NotFound("row id out of range");
+    CONCEALER_RETURN_IF_ERROR(
+        index_.Delete(old_row->columns[index_column_]));
+  }
+  for (const auto& [row_id, row] : rows) {
+    CONCEALER_RETURN_IF_ERROR(store_.Replace(row_id, row));
+    CONCEALER_RETURN_IF_ERROR(
+        index_.Insert(store_.GetRef(row_id)->columns[index_column_], row_id));
+  }
+  return Status::OK();
+}
+
+Status EncryptedTable::ReplaceRows(
+    const std::vector<std::pair<uint64_t, Row>>& rows) {
+  for (const auto& [row_id, row] : rows) {
+    if (row.columns.size() != num_columns_) {
+      return Status::InvalidArgument("row arity mismatch");
+    }
+    CONCEALER_RETURN_IF_ERROR(store_.Replace(row_id, row));
+  }
+  return Status::OK();
+}
+
+}  // namespace concealer

@@ -1,0 +1,92 @@
+#ifndef CONCEALER_STORAGE_ENCRYPTED_TABLE_H_
+#define CONCEALER_STORAGE_ENCRYPTED_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/bplus_tree.h"
+#include "storage/row_store.h"
+
+namespace concealer {
+
+/// Cumulative access statistics observable by the (untrusted) service
+/// provider — exactly the adversary's view the paper reasons about: which
+/// index keys were probed and how many rows came back. Benches and security
+/// tests read these to check volume-hiding claims.
+struct TableStats {
+  uint64_t index_probes = 0;    // Trapdoor lookups issued.
+  uint64_t index_hits = 0;      // Probes that matched a row.
+  uint64_t rows_fetched = 0;    // Rows returned to the enclave.
+  uint64_t rows_scanned = 0;    // Rows touched by full scans (Opaque path).
+  uint64_t rows_inserted = 0;
+};
+
+/// The untrusted DBMS at the service provider: an append-only row heap plus
+/// a B+-tree over the designated `Index` column. Mirrors how the paper uses
+/// MySQL — the engine never sees plaintext and supports only (a) bulk
+/// insertion of encrypted epochs, (b) exact-match fetch by a batch of
+/// trapdoors, and (c) full scans (used by the Opaque baseline).
+class EncryptedTable {
+ public:
+  /// `num_columns` includes the index column; `index_column` is its ordinal.
+  EncryptedTable(std::string name, size_t num_columns, size_t index_column);
+
+  EncryptedTable(const EncryptedTable&) = delete;
+  EncryptedTable& operator=(const EncryptedTable&) = delete;
+
+  /// Inserts one encrypted row; indexes its `index_column` value.
+  Status Insert(Row row);
+
+  /// Bulk-inserts an epoch of rows (paper Phase 1: "SP inserts the data into
+  /// DBMS that creates/modifies the index").
+  Status InsertBatch(std::vector<Row> rows);
+
+  /// Fetches the rows matching a batch of exact index keys (the enclave's
+  /// trapdoors). Missing keys are skipped silently — a fake-tuple trapdoor
+  /// beyond the stored range simply matches nothing, and reporting which
+  /// trapdoors missed would be a leak the enclave does not rely on.
+  std::vector<Row> FetchByIndexKeys(const std::vector<Bytes>& keys) const;
+
+  /// Like FetchByIndexKeys but also returns the matched row ids (needed by
+  /// the dynamic-insertion path to rewrite rows in place).
+  std::vector<std::pair<uint64_t, Row>> FetchWithIds(
+      const std::vector<Bytes>& keys) const;
+
+  /// Full scan in row-id order (Opaque baseline). Visitor returns false to
+  /// stop.
+  void Scan(const std::function<bool(const Row&)>& visitor) const;
+
+  /// Overwrites rows in place without touching the index (the new rows must
+  /// keep their index-column values).
+  Status ReplaceRows(const std::vector<std::pair<uint64_t, Row>>& rows);
+
+  /// Overwrites rows whose index-column values changed (dynamic-insertion
+  /// re-encryption, paper §6 step iii): deletes the old index entries and
+  /// inserts the new ones.
+  Status ReindexRows(const std::vector<std::pair<uint64_t, Row>>& rows);
+
+  const std::string& name() const { return name_; }
+  size_t num_columns() const { return num_columns_; }
+  size_t index_column() const { return index_column_; }
+  uint64_t num_rows() const { return store_.size(); }
+  uint64_t TotalBytes() const { return store_.TotalBytes(); }
+
+  const TableStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = TableStats(); }
+
+ private:
+  std::string name_;
+  size_t num_columns_;
+  size_t index_column_;
+  RowStore store_;
+  BPlusTree index_;
+  mutable TableStats stats_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_STORAGE_ENCRYPTED_TABLE_H_

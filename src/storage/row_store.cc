@@ -1,0 +1,41 @@
+#include "storage/row_store.h"
+
+namespace concealer {
+
+namespace {
+uint64_t RowBytes(const Row& row) {
+  uint64_t n = 0;
+  for (const auto& col : row.columns) n += col.size();
+  return n;
+}
+}  // namespace
+
+uint64_t RowStore::Append(Row row) {
+  total_bytes_ += RowBytes(row);
+  rows_.push_back(std::move(row));
+  return rows_.size() - 1;
+}
+
+StatusOr<Row> RowStore::Get(uint64_t row_id) const {
+  if (row_id >= rows_.size()) {
+    return Status::NotFound("row id out of range");
+  }
+  return rows_[row_id];
+}
+
+const Row* RowStore::GetRef(uint64_t row_id) const {
+  if (row_id >= rows_.size()) return nullptr;
+  return &rows_[row_id];
+}
+
+Status RowStore::Replace(uint64_t row_id, Row row) {
+  if (row_id >= rows_.size()) {
+    return Status::NotFound("row id out of range");
+  }
+  total_bytes_ -= RowBytes(rows_[row_id]);
+  total_bytes_ += RowBytes(row);
+  rows_[row_id] = std::move(row);
+  return Status::OK();
+}
+
+}  // namespace concealer

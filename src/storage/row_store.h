@@ -1,0 +1,57 @@
+#ifndef CONCEALER_STORAGE_ROW_STORE_H_
+#define CONCEALER_STORAGE_ROW_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace concealer {
+
+/// A stored row: the ordered encrypted column values of one tuple.
+/// For the WiFi schema this is ⟨El, Eo, Er, Index⟩ (Table 2c); for TPC-H,
+/// filter columns + value column + Index. The storage layer treats every
+/// column as an opaque byte string.
+struct Row {
+  std::vector<Bytes> columns;
+};
+
+/// Append-only heap of rows addressed by dense 64-bit row ids — the table
+/// storage underneath the B+-tree index (a deliberately simple stand-in for
+/// the DBMS heap file). Rows are immutable once appended except through
+/// `Replace`, which the dynamic-insertion path uses to overwrite a round's
+/// re-encrypted tuples in place (paper §6 step iii).
+class RowStore {
+ public:
+  RowStore() = default;
+
+  RowStore(const RowStore&) = delete;
+  RowStore& operator=(const RowStore&) = delete;
+
+  /// Appends a row; returns its row id.
+  uint64_t Append(Row row);
+
+  /// Fetches a row by id.
+  StatusOr<Row> Get(uint64_t row_id) const;
+
+  /// Borrowed access (no copy); invalidated by Append/Replace.
+  const Row* GetRef(uint64_t row_id) const;
+
+  /// Overwrites an existing row (dynamic insertion re-encryption).
+  Status Replace(uint64_t row_id, Row row);
+
+  uint64_t size() const { return rows_.size(); }
+
+  /// Total bytes across all stored columns (storage-size accounting for the
+  /// setup-leakage experiments).
+  uint64_t TotalBytes() const { return total_bytes_; }
+
+ private:
+  std::vector<Row> rows_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_STORAGE_ROW_STORE_H_

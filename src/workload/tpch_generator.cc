@@ -1,0 +1,118 @@
+#include "workload/tpch_generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/random.h"
+#include "concealer/wire.h"
+
+namespace concealer {
+
+TpchGenerator::TpchGenerator(const TpchConfig& config) : config_(config) {}
+
+uint64_t TpchGenerator::orderkey_domain() const {
+  // Spec: O_ORDERKEY in 1..6,000,000*SF sparse (every group of 8 keys has
+  // the first 4 used); we cap by what total_rows can reach (~4.3 rows per
+  // order on average).
+  const uint64_t max_orders = config_.total_rows / 4 + 8;
+  return max_orders * 2;  // Sparse keys: order i -> key expanding with gaps.
+}
+
+uint64_t TpchGenerator::partkey_domain() const {
+  return static_cast<uint64_t>(200000 * config_.scale_factor) + 1;
+}
+
+uint64_t TpchGenerator::suppkey_domain() const {
+  return static_cast<uint64_t>(10000 * config_.scale_factor) + 1;
+}
+
+std::vector<LineItem> TpchGenerator::Generate() {
+  Rng rng(config_.seed);
+  std::vector<LineItem> items;
+  items.reserve(config_.total_rows);
+
+  const uint64_t pk_domain = partkey_domain();
+  const uint64_t sk_domain = suppkey_domain();
+
+  uint64_t order_index = 0;
+  while (items.size() < config_.total_rows) {
+    ++order_index;
+    // Sparse order keys per spec: within each group of 8 consecutive keys
+    // only the first 4 are used.
+    const uint64_t orderkey =
+        (order_index / 4) * 8 + (order_index % 4) + 1;
+    const uint64_t num_lines = 1 + rng.Uniform(7);
+    for (uint64_t ln = 1; ln <= num_lines && items.size() < config_.total_rows;
+         ++ln) {
+      LineItem item;
+      item.orderkey = orderkey;
+      item.linenumber = ln;
+      item.partkey = 1 + rng.Uniform(pk_domain - 1);
+      item.suppkey = 1 + rng.Uniform(sk_domain - 1);
+      item.quantity = 1 + rng.Uniform(50);
+      // Retail price rule: 90000 + (partkey/10) % 20001 + 100*(partkey%1000),
+      // in cents; extended price = quantity * retail.
+      const uint64_t retail =
+          90000 + (item.partkey / 10) % 20001 + 100 * (item.partkey % 1000);
+      item.extendedprice = item.quantity * retail;
+      item.discount = rng.Uniform(11);
+      item.tax = rng.Uniform(9);
+      const uint64_t rf = rng.Uniform(100);
+      item.returnflag = rf < 25 ? 'R' : (rf < 50 ? 'A' : 'N');
+      items.push_back(item);
+    }
+  }
+  return items;
+}
+
+namespace {
+
+std::string PackRemaining(const LineItem& item, bool include_pk_sk) {
+  // Non-indexed columns ride in the payload tail (the paper encrypts "the
+  // concatenated values of all remaining attributes" as one value column).
+  std::string rest;
+  rest += "|ep=" + std::to_string(item.extendedprice);
+  rest += "|disc=" + std::to_string(item.discount);
+  rest += "|tax=" + std::to_string(item.tax);
+  rest += "|rf=";
+  rest += item.returnflag;
+  if (include_pk_sk) {
+    rest += "|pk=" + std::to_string(item.partkey);
+    rest += "|sk=" + std::to_string(item.suppkey);
+  }
+  return rest;
+}
+
+}  // namespace
+
+std::vector<PlainTuple> TpchGenerator::ToTuples2D(
+    const std::vector<LineItem>& items) {
+  std::vector<PlainTuple> tuples;
+  tuples.reserve(items.size());
+  for (const LineItem& item : items) {
+    PlainTuple t;
+    t.keys = {item.orderkey, item.linenumber};
+    t.time = 0;  // Non-time-series.
+    t.payload = NumericPayload(item.quantity,
+                               PackRemaining(item, /*include_pk_sk=*/true));
+    tuples.push_back(std::move(t));
+  }
+  return tuples;
+}
+
+std::vector<PlainTuple> TpchGenerator::ToTuples4D(
+    const std::vector<LineItem>& items) {
+  std::vector<PlainTuple> tuples;
+  tuples.reserve(items.size());
+  for (const LineItem& item : items) {
+    PlainTuple t;
+    t.keys = {item.orderkey, item.partkey, item.suppkey, item.linenumber};
+    t.time = 0;
+    t.payload = NumericPayload(item.quantity,
+                               PackRemaining(item, /*include_pk_sk=*/false));
+    tuples.push_back(std::move(t));
+  }
+  return tuples;
+}
+
+}  // namespace concealer

@@ -1,0 +1,65 @@
+#ifndef CONCEALER_WORKLOAD_TPCH_GENERATOR_H_
+#define CONCEALER_WORKLOAD_TPCH_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "concealer/types.h"
+
+namespace concealer {
+
+/// One LineItem row restricted to the nine columns the paper selects
+/// (§9.1 Dataset 2): Orderkey, Partkey, Suppkey, Linenumber, Quantity,
+/// Extendedprice, Discount, Tax, Returnflag. Domains follow the TPC-H 4.3
+/// column rules at a configurable scale factor.
+struct LineItem {
+  uint64_t orderkey = 0;    // Sparse: 1..4*1.5M*SF with gaps (8-key groups).
+  uint64_t partkey = 0;     // 1..200000*SF.
+  uint64_t suppkey = 0;     // 1..10000*SF.
+  uint64_t linenumber = 0;  // 1..7.
+  uint64_t quantity = 0;    // 1..50.
+  uint64_t extendedprice = 0;  // quantity * part retail price (cents).
+  uint64_t discount = 0;    // 0..10 (percent).
+  uint64_t tax = 0;         // 0..8 (percent).
+  char returnflag = 'N';    // R / A / N.
+};
+
+struct TpchConfig {
+  /// Number of LineItem rows to generate (the paper uses 136M; default is
+  /// paper/100).
+  uint64_t total_rows = 1360000;
+  /// TPC-H scale factor driving the key domains.
+  double scale_factor = 1.0;
+  uint64_t seed = 7;
+};
+
+/// dbgen-style LineItem generator: orders get 1..7 lineitems, order keys
+/// are sparse per the spec's 8-key groups, prices derive from part keys.
+class TpchGenerator {
+ public:
+  explicit TpchGenerator(const TpchConfig& config);
+
+  std::vector<LineItem> Generate();
+
+  /// Converts LineItems into Concealer tuples for a 2D index ⟨OK, LN⟩:
+  /// keys = {orderkey, linenumber}, payload value = the aggregate column
+  /// (quantity), remaining columns packed into the payload tail.
+  static std::vector<PlainTuple> ToTuples2D(const std::vector<LineItem>& items);
+
+  /// 4D index ⟨OK, PK, SK, LN⟩ variant.
+  static std::vector<PlainTuple> ToTuples4D(const std::vector<LineItem>& items);
+
+  const TpchConfig& config() const { return config_; }
+
+  /// Largest orderkey the generator can emit (for key_domains).
+  uint64_t orderkey_domain() const;
+  uint64_t partkey_domain() const;
+  uint64_t suppkey_domain() const;
+
+ private:
+  TpchConfig config_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_WORKLOAD_TPCH_GENERATOR_H_

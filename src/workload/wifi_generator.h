@@ -1,0 +1,51 @@
+#ifndef CONCEALER_WORKLOAD_WIFI_GENERATOR_H_
+#define CONCEALER_WORKLOAD_WIFI_GENERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "concealer/types.h"
+
+namespace concealer {
+
+/// Synthetic WiFi connectivity-event generator standing in for the paper's
+/// UCI campus dataset (§9.1): ⟨access-point, time, device-id⟩ events with
+///  - Zipf-skewed access-point popularity (the paper reports min ≈6K vs
+///    max ≈50K rows per hour → heavy skew across locations/hours),
+///  - a diurnal rate profile (peak hours carry ~8x the off-peak load), and
+///  - Zipf-skewed device activity.
+/// Deterministic for a given seed.
+struct WifiConfig {
+  uint32_t num_access_points = 2000;  // Paper: "more than 2000".
+  uint32_t num_devices = 40000;
+  uint64_t start_time = 1600000000;   // Epoch-aligned base timestamp.
+  uint64_t duration_seconds = 44ull * 24 * 3600;  // Small dataset: 44 days.
+  uint64_t total_rows = 260000;       // Paper/100 by default.
+  double location_skew = 0.9;         // Zipf theta over access points.
+  double device_skew = 0.7;
+  uint64_t time_quantum = 60;         // Event timestamp resolution.
+  uint64_t seed = 42;
+};
+
+class WifiGenerator {
+ public:
+  explicit WifiGenerator(const WifiConfig& config);
+
+  /// Generates all events, sorted by timestamp.
+  std::vector<PlainTuple> Generate();
+
+  /// Splits tuples into epochs of `epoch_seconds`, keyed by epoch id
+  /// (epoch_id = timestamp / epoch_seconds).
+  static std::map<uint64_t, std::vector<PlainTuple>> SplitIntoEpochs(
+      const std::vector<PlainTuple>& tuples, uint64_t epoch_seconds);
+
+  const WifiConfig& config() const { return config_; }
+
+ private:
+  WifiConfig config_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_WORKLOAD_WIFI_GENERATOR_H_

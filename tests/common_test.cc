@@ -1,0 +1,199 @@
+// Unit tests for the common substrate: Status/StatusOr, Slice, coding,
+// Rng/Zipf, hex.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/coding.h"
+#include "common/hex.h"
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace concealer {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCodesAndMessages) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_FALSE(st.IsCorruption());
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::Internal("boom");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsInternal());
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(SliceTest, CompareOrdersLexicographically) {
+  EXPECT_LT(Slice("abc", 3).Compare(Slice("abd", 3)), 0);
+  EXPECT_GT(Slice("abd", 3).Compare(Slice("abc", 3)), 0);
+  EXPECT_EQ(Slice("abc", 3).Compare(Slice("abc", 3)), 0);
+  // Prefix sorts first.
+  EXPECT_LT(Slice("ab", 2).Compare(Slice("abc", 3)), 0);
+}
+
+TEST(SliceTest, EqualityAndEmpty) {
+  Slice empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty, Slice());
+  std::string s = "xyz";
+  EXPECT_EQ(Slice(s), Slice("xyz", 3));
+  EXPECT_NE(Slice(s), Slice("xy", 2));
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  Bytes b;
+  PutFixed32(&b, 0xdeadbeef);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(DecodeFixed32(b.data()), 0xdeadbeefu);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  Bytes b;
+  PutFixed64(&b, 0x0123456789abcdefULL);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(DecodeFixed64(b.data()), 0x0123456789abcdefULL);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  Bytes b;
+  PutLengthPrefixed(&b, Slice("hello", 5));
+  PutLengthPrefixed(&b, Slice());  // Empty field.
+  PutLengthPrefixed(&b, Slice("world", 5));
+  size_t off = 0;
+  Bytes f1, f2, f3;
+  ASSERT_TRUE(GetLengthPrefixed(b, &off, &f1));
+  ASSERT_TRUE(GetLengthPrefixed(b, &off, &f2));
+  ASSERT_TRUE(GetLengthPrefixed(b, &off, &f3));
+  EXPECT_EQ(Slice(f1), Slice("hello", 5));
+  EXPECT_TRUE(f2.empty());
+  EXPECT_EQ(Slice(f3), Slice("world", 5));
+  EXPECT_EQ(off, b.size());
+}
+
+TEST(CodingTest, GetLengthPrefixedDetectsTruncation) {
+  Bytes b;
+  PutLengthPrefixed(&b, Slice("hello", 5));
+  b.pop_back();  // Truncate.
+  size_t off = 0;
+  Bytes f;
+  EXPECT_FALSE(GetLengthPrefixed(b, &off, &f));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    const uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(ZipfTest, SkewsTowardLowRanks) {
+  ZipfSampler zipf(1000, 0.99, 42);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample()]++;
+  // Rank 0 must be sampled far more often than rank 500.
+  EXPECT_GT(counts[0], 20 * (counts.count(500) ? counts[500] : 1));
+  // All samples within domain.
+  for (const auto& [rank, _] : counts) EXPECT_LT(rank, 1000u);
+}
+
+TEST(ZipfTest, ThetaZeroIsNearUniform) {
+  ZipfSampler zipf(10, 0.0, 7);
+  std::map<uint64_t, int> counts;
+  const int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) counts[zipf.Sample()]++;
+  for (uint64_t r = 0; r < 10; ++r) {
+    EXPECT_GT(counts[r], kSamples / 20) << "rank " << r;
+  }
+}
+
+TEST(HexTest, RoundTrip) {
+  const Bytes data{0x00, 0x01, 0xab, 0xff};
+  const std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "0001abff");
+  auto decoded = HexDecode(hex);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(HexTest, DecodeRejectsBadInput) {
+  EXPECT_FALSE(HexDecode("abc").ok());   // Odd length.
+  EXPECT_FALSE(HexDecode("zz").ok());    // Non-hex char.
+  EXPECT_TRUE(HexDecode("ABCD").ok());   // Uppercase accepted.
+}
+
+}  // namespace
+}  // namespace concealer

@@ -1,0 +1,239 @@
+// Unit and property tests for the storage engine: B+-tree, row store and
+// the encrypted-table facade.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "storage/bplus_tree.h"
+#include "storage/encrypted_table.h"
+#include "storage/row_store.h"
+
+namespace concealer {
+namespace {
+
+Bytes Key(uint64_t v) {
+  Bytes b;
+  PutFixed64(&b, v);
+  return b;
+}
+
+// Big-endian key: lexicographic byte order == numeric order. Used where a
+// test asserts ordered iteration.
+Bytes OrderedKey(uint64_t v) {
+  Bytes b(8);
+  for (int i = 0; i < 8; ++i) b[i] = uint8_t(v >> (8 * (7 - i)));
+  return b;
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Get(Key(1)).ok());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, InsertAndGet) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert(Key(10), 100).ok());
+  ASSERT_TRUE(tree.Insert(Key(20), 200).ok());
+  auto v = tree.Get(Key(10));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 100u);
+  EXPECT_TRUE(tree.Get(Key(15)).status().IsNotFound());
+  EXPECT_TRUE(tree.Contains(Key(20)));
+}
+
+TEST(BPlusTreeTest, RejectsDuplicates) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert(Key(1), 1).ok());
+  EXPECT_TRUE(tree.Insert(Key(1), 2).IsInvalidArgument());
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeight) {
+  BPlusTree tree;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(tree.Insert(Key(i), i).ok());
+  }
+  EXPECT_EQ(tree.size(), 10000u);
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (uint64_t i = 0; i < 10000; ++i) {
+    auto v = tree.Get(Key(i));
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BPlusTreeTest, ScanVisitsInOrder) {
+  BPlusTree tree;
+  Rng rng(3);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.Next());
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<uint64_t> shuffled = keys;
+  rng.Shuffle(&shuffled);
+  for (uint64_t k : shuffled) ASSERT_TRUE(tree.Insert(OrderedKey(k), k).ok());
+
+  std::vector<uint64_t> visited;
+  tree.Scan([&](Slice, uint64_t v) {
+    visited.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(visited, keys);
+}
+
+TEST(BPlusTreeTest, ScanEarlyStop) {
+  BPlusTree tree;
+  for (uint64_t i = 0; i < 100; ++i) ASSERT_TRUE(tree.Insert(Key(i), i).ok());
+  int count = 0;
+  tree.Scan([&](Slice, uint64_t) { return ++count < 10; });
+  EXPECT_EQ(count, 10);
+}
+
+// Property test across insertion orders: tree matches a std::map oracle and
+// invariants hold.
+class BPlusTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesMapOracle) {
+  BPlusTree tree;
+  std::map<Bytes, uint64_t> oracle;
+  Rng rng(GetParam());
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t k = rng.Uniform(5000);
+    Bytes key = Key(k);
+    const bool dup = oracle.count(key) > 0;
+    const Status st = tree.Insert(key, k);
+    EXPECT_EQ(st.ok(), !dup);
+    if (!dup) oracle[key] = k;
+  }
+  EXPECT_EQ(tree.size(), oracle.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (const auto& [key, val] : oracle) {
+    auto v = tree.Get(key);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, val);
+  }
+  // Absent keys miss.
+  for (uint64_t k = 5000; k < 5100; ++k) {
+    EXPECT_FALSE(tree.Contains(Key(k)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreePropertyTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(BPlusTreeTest, VariableLengthKeys) {
+  BPlusTree tree;
+  std::vector<std::string> keys = {"", "a", "ab", "abc", "b", "ba", "z"};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(Slice(keys[i]), i).ok());
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto v = tree.Get(Slice(keys[i]));
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(RowStoreTest, AppendGetReplace) {
+  RowStore store;
+  Row r1{{Bytes{1, 2}, Bytes{3}}};
+  Row r2{{Bytes{4}, Bytes{5, 6, 7}}};
+  EXPECT_EQ(store.Append(r1), 0u);
+  EXPECT_EQ(store.Append(r2), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.TotalBytes(), 7u);
+
+  auto got = store.Get(0);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->columns, r1.columns);
+  EXPECT_TRUE(store.Get(5).status().IsNotFound());
+  EXPECT_EQ(store.GetRef(5), nullptr);
+
+  Row r3{{Bytes{9, 9, 9, 9}}};
+  ASSERT_TRUE(store.Replace(0, r3).ok());
+  EXPECT_EQ(store.GetRef(0)->columns, r3.columns);
+  EXPECT_EQ(store.TotalBytes(), 8u);  // 4 (new r1) + 4 (r2).
+  EXPECT_TRUE(store.Replace(9, r3).IsNotFound());
+}
+
+TEST(EncryptedTableTest, InsertAndFetchByIndexKeys) {
+  EncryptedTable table("t", 3, 2);
+  for (uint64_t i = 0; i < 100; ++i) {
+    Row row{{Bytes{uint8_t(i)}, Bytes{uint8_t(i + 1)}, Key(i)}};
+    ASSERT_TRUE(table.Insert(std::move(row)).ok());
+  }
+  EXPECT_EQ(table.num_rows(), 100u);
+
+  std::vector<Bytes> keys{Key(5), Key(50), Key(500)};  // Last one misses.
+  auto rows = table.FetchByIndexKeys(keys);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].columns[0], Bytes{5});
+  EXPECT_EQ(rows[1].columns[0], Bytes{50});
+
+  const TableStats& stats = table.stats();
+  EXPECT_EQ(stats.index_probes, 3u);
+  EXPECT_EQ(stats.index_hits, 2u);
+  EXPECT_EQ(stats.rows_fetched, 2u);
+  EXPECT_EQ(stats.rows_inserted, 100u);
+}
+
+TEST(EncryptedTableTest, RejectsArityMismatch) {
+  EncryptedTable table("t", 3, 2);
+  Row bad{{Bytes{1}, Key(0)}};
+  EXPECT_TRUE(table.Insert(std::move(bad)).IsInvalidArgument());
+}
+
+TEST(EncryptedTableTest, RejectsDuplicateIndexKey) {
+  EncryptedTable table("t", 2, 1);
+  ASSERT_TRUE(table.Insert(Row{{Bytes{1}, Key(7)}}).ok());
+  EXPECT_FALSE(table.Insert(Row{{Bytes{2}, Key(7)}}).ok());
+}
+
+TEST(EncryptedTableTest, ScanCountsRows) {
+  EncryptedTable table("t", 2, 1);
+  for (uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(table.Insert(Row{{Bytes{uint8_t(i)}, Key(i)}}).ok());
+  }
+  uint64_t seen = 0;
+  table.Scan([&](const Row&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 20u);
+  EXPECT_EQ(table.stats().rows_scanned, 20u);
+}
+
+TEST(EncryptedTableTest, FetchWithIdsAndReplace) {
+  EncryptedTable table("t", 2, 1);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table.Insert(Row{{Bytes{uint8_t(i)}, Key(i)}}).ok());
+  }
+  auto pairs = table.FetchWithIds({Key(3)});
+  ASSERT_EQ(pairs.size(), 1u);
+  Row updated{{Bytes{0xee}, Key(3)}};
+  ASSERT_TRUE(table.ReplaceRows({{pairs[0].first, updated}}).ok());
+  auto rows = table.FetchByIndexKeys({Key(3)});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].columns[0], Bytes{0xee});
+}
+
+TEST(EncryptedTableTest, BatchInsert) {
+  EncryptedTable table("t", 2, 1);
+  std::vector<Row> rows;
+  for (uint64_t i = 0; i < 50; ++i) {
+    rows.push_back(Row{{Bytes{uint8_t(i)}, Key(i)}});
+  }
+  ASSERT_TRUE(table.InsertBatch(std::move(rows)).ok());
+  EXPECT_EQ(table.num_rows(), 50u);
+}
+
+}  // namespace
+}  // namespace concealer

@@ -1,0 +1,239 @@
+// Tests for the workload generators (WiFi spatial time-series and TPC-H
+// LineItem) and the cleartext reference database.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baseline/cleartext_db.h"
+#include "concealer/wire.h"
+#include "workload/tpch_generator.h"
+#include "workload/wifi_generator.h"
+
+namespace concealer {
+namespace {
+
+WifiConfig SmallWifi() {
+  WifiConfig config;
+  config.num_access_points = 30;
+  config.num_devices = 100;
+  config.start_time = 0;
+  config.duration_seconds = 86400;
+  config.total_rows = 5000;
+  config.seed = 11;
+  return config;
+}
+
+TEST(WifiGeneratorTest, GeneratesRequestedRows) {
+  WifiGenerator gen(SmallWifi());
+  auto tuples = gen.Generate();
+  EXPECT_EQ(tuples.size(), 5000u);
+  for (const auto& t : tuples) {
+    ASSERT_EQ(t.keys.size(), 1u);
+    EXPECT_LT(t.keys[0], 30u);
+    EXPECT_LT(t.time, 86400u);
+    EXPECT_EQ(t.time % 60, 0u);  // Quantized event times.
+    EXPECT_FALSE(t.observation.empty());
+  }
+}
+
+TEST(WifiGeneratorTest, DeterministicForSeed) {
+  WifiGenerator a(SmallWifi()), b(SmallWifi());
+  auto ta = a.Generate(), tb = b.Generate();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].keys, tb[i].keys);
+    EXPECT_EQ(ta[i].time, tb[i].time);
+    EXPECT_EQ(ta[i].observation, tb[i].observation);
+  }
+}
+
+TEST(WifiGeneratorTest, SortedByTime) {
+  WifiGenerator gen(SmallWifi());
+  auto tuples = gen.Generate();
+  for (size_t i = 1; i < tuples.size(); ++i) {
+    EXPECT_LE(tuples[i - 1].time, tuples[i].time);
+  }
+}
+
+TEST(WifiGeneratorTest, LocationPopularityIsSkewed) {
+  WifiGenerator gen(SmallWifi());
+  auto tuples = gen.Generate();
+  std::map<uint64_t, int> per_loc;
+  for (const auto& t : tuples) per_loc[t.keys[0]]++;
+  int max_c = 0, min_c = INT32_MAX;
+  for (auto& [_, c] : per_loc) {
+    max_c = std::max(max_c, c);
+    min_c = std::min(min_c, c);
+  }
+  // Paper reports ≈6K vs ≈50K rows/hour (≈8x spread); Zipf 0.9 over 30
+  // locations is far more skewed than that.
+  EXPECT_GT(max_c, 5 * std::max(1, min_c));
+}
+
+TEST(WifiGeneratorTest, DiurnalPeakVisible) {
+  WifiConfig config = SmallWifi();
+  config.total_rows = 20000;
+  WifiGenerator gen(config);
+  auto tuples = gen.Generate();
+  std::vector<int> per_hour(24, 0);
+  for (const auto& t : tuples) per_hour[(t.time / 3600) % 24]++;
+  // Noon carries several times the 3am load.
+  EXPECT_GT(per_hour[12], 3 * std::max(1, per_hour[3]));
+}
+
+TEST(WifiGeneratorTest, SplitIntoEpochsPartitions) {
+  WifiConfig config = SmallWifi();
+  config.duration_seconds = 3 * 86400;
+  WifiGenerator gen(config);
+  auto tuples = gen.Generate();
+  auto epochs = WifiGenerator::SplitIntoEpochs(tuples, 86400);
+  EXPECT_EQ(epochs.size(), 3u);
+  size_t total = 0;
+  for (auto& [eid, batch] : epochs) {
+    for (auto& t : batch) EXPECT_EQ(t.time / 86400, eid);
+    total += batch.size();
+  }
+  EXPECT_EQ(total, tuples.size());
+}
+
+TEST(TpchGeneratorTest, GeneratesSpecConformantRows) {
+  TpchConfig config;
+  config.total_rows = 10000;
+  TpchGenerator gen(config);
+  auto items = gen.Generate();
+  EXPECT_EQ(items.size(), 10000u);
+  for (const auto& it : items) {
+    EXPECT_GE(it.orderkey, 1u);
+    EXPECT_GE(it.linenumber, 1u);
+    EXPECT_LE(it.linenumber, 7u);
+    EXPECT_GE(it.quantity, 1u);
+    EXPECT_LE(it.quantity, 50u);
+    EXPECT_LE(it.discount, 10u);
+    EXPECT_LE(it.tax, 8u);
+    EXPECT_TRUE(it.returnflag == 'R' || it.returnflag == 'A' ||
+                it.returnflag == 'N');
+    EXPECT_GE(it.partkey, 1u);
+    EXPECT_LT(it.partkey, gen.partkey_domain());
+    EXPECT_GE(it.suppkey, 1u);
+    EXPECT_LT(it.suppkey, gen.suppkey_domain());
+    EXPECT_EQ(it.extendedprice % it.quantity, 0u);  // qty * retail.
+  }
+}
+
+TEST(TpchGeneratorTest, OrderKeysAreSparse) {
+  TpchConfig config;
+  config.total_rows = 5000;
+  TpchGenerator gen(config);
+  auto items = gen.Generate();
+  std::set<uint64_t> keys;
+  for (const auto& it : items) keys.insert(it.orderkey);
+  // Spec: within each 8-key group only 4 keys are used.
+  for (uint64_t k : keys) EXPECT_LT(k % 8, 5u) << k;
+}
+
+TEST(TpchGeneratorTest, LineNumbersUniquePerOrder) {
+  TpchConfig config;
+  config.total_rows = 3000;
+  TpchGenerator gen(config);
+  auto items = gen.Generate();
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (const auto& it : items) {
+    EXPECT_TRUE(seen.insert({it.orderkey, it.linenumber}).second)
+        << it.orderkey << ":" << it.linenumber;
+  }
+}
+
+TEST(TpchGeneratorTest, TupleConversionCarriesAggregates) {
+  TpchConfig config;
+  config.total_rows = 100;
+  TpchGenerator gen(config);
+  auto items = gen.Generate();
+  auto t2 = TpchGenerator::ToTuples2D(items);
+  auto t4 = TpchGenerator::ToTuples4D(items);
+  ASSERT_EQ(t2.size(), items.size());
+  ASSERT_EQ(t4.size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(t2[i].keys,
+              (std::vector<uint64_t>{items[i].orderkey,
+                                     items[i].linenumber}));
+    EXPECT_EQ(PayloadValue(t2[i]), items[i].quantity);
+    EXPECT_EQ(t4[i].keys,
+              (std::vector<uint64_t>{items[i].orderkey, items[i].partkey,
+                                     items[i].suppkey,
+                                     items[i].linenumber}));
+    EXPECT_EQ(PayloadValue(t4[i]), items[i].quantity);
+    EXPECT_EQ(t2[i].time, 0u);
+  }
+}
+
+// --- Cleartext reference database ---
+
+TEST(CleartextDbTest, CountAndGroupedAggregates) {
+  CleartextDb db(60);
+  // Three tuples at loc 1, one at loc 2, distinct devices.
+  db.Insert(PlainTuple{{1}, 60, "a", ""});
+  db.Insert(PlainTuple{{1}, 120, "b", ""});
+  db.Insert(PlainTuple{{1}, 3600, "a", ""});
+  db.Insert(PlainTuple{{2}, 60, "c", ""});
+
+  Query q;
+  q.agg = Aggregate::kCount;
+  q.key_values = {{1}};
+  q.time_lo = 0;
+  q.time_hi = 200;
+  EXPECT_EQ(db.Execute(q)->count, 2u);
+
+  q.key_values.clear();
+  q.agg = Aggregate::kTopK;
+  q.k = 1;
+  q.time_hi = 7200;
+  auto top = db.Execute(q);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->keyed_counts.size(), 1u);
+  EXPECT_EQ(top->keyed_counts[0].first, (std::vector<uint64_t>{1}));
+  EXPECT_EQ(top->keyed_counts[0].second, 3u);
+
+  q.agg = Aggregate::kKeysWithObservation;
+  q.observation = "a";
+  auto keys = db.Execute(q);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->keyed_counts.size(), 1u);
+  EXPECT_EQ(keys->keyed_counts[0].second, 2u);
+}
+
+TEST(CleartextDbTest, NumericAggregates) {
+  CleartextDb db(60);
+  db.Insert(PlainTuple{{1}, 0, "", NumericPayload(10)});
+  db.Insert(PlainTuple{{1}, 0, "", NumericPayload(30)});
+  db.Insert(PlainTuple{{2}, 0, "", NumericPayload(99)});
+
+  Query q;
+  q.key_values = {{1}};
+  q.agg = Aggregate::kSum;
+  EXPECT_EQ(db.Execute(q)->count, 40u);
+  q.agg = Aggregate::kMin;
+  EXPECT_EQ(db.Execute(q)->count, 10u);
+  q.agg = Aggregate::kMax;
+  EXPECT_EQ(db.Execute(q)->count, 30u);
+  // Empty result: min/max degrade to 0.
+  q.key_values = {{9}};
+  EXPECT_EQ(db.Execute(q)->count, 0u);
+}
+
+TEST(CleartextDbTest, TimeQuantization) {
+  CleartextDb db(60);
+  db.Insert(PlainTuple{{1}, 59, "", ""});  // Quantizes to 0.
+  Query q;
+  q.key_values = {{1}};
+  q.time_lo = 0;
+  q.time_hi = 0;
+  EXPECT_EQ(db.Execute(q)->count, 1u);
+  q.time_lo = 60;
+  q.time_hi = 120;
+  EXPECT_EQ(db.Execute(q)->count, 0u);
+}
+
+}  // namespace
+}  // namespace concealer
