@@ -1,4 +1,4 @@
-// Ablations for the design choices DESIGN.md calls out (not a paper
+// Ablations for the implementation's main design choices (not a paper
 // experiment):
 //   1. FFD vs BFD bin packing: bin count, fake-tuple overhead.
 //   2. Fake-tuple method (i) equal-count vs (ii) bin-simulation: storage
@@ -22,7 +22,7 @@ using namespace concealer;
 
 int main() {
   bench::PrintHeader("Ablations: packing, fake methods, super-bins, oblivious",
-                     "DESIGN.md design-choice index (not a paper figure)");
+                     "design-choice ablations (not a paper figure)");
 
   bench::WifiDataset ds = bench::MakeWifiDataset(/*large=*/false);
   GridHash hash;

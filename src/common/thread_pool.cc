@@ -1,0 +1,117 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace concealer {
+
+namespace {
+// Set while a thread executes ParallelFor work. A nested ParallelFor on the
+// same pool would enqueue helper tasks no free worker can ever take (the
+// nesting thread is the one blocked waiting), so nested calls run inline.
+thread_local bool tls_in_parallel_for = false;
+
+struct InParallelForGuard {
+  InParallelForGuard() { tls_in_parallel_for = true; }
+  ~InParallelForGuard() { tls_in_parallel_for = false; }
+};
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  // The submitting thread always participates in ParallelFor, so spawn one
+  // fewer worker than the requested parallelism.
+  const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || tls_in_parallel_for) {
+    // Nested ParallelFor (fn itself fanning out) degrades to inline
+    // execution instead of deadlocking on the occupied workers.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic index dispenser: workers and the calling thread pull the next
+  // index until exhausted, so uneven per-unit costs (bins of different
+  // padded sizes) still balance. A throw from fn (worker or caller) stops
+  // the dispenser, but every helper is always joined before this returns —
+  // callers capture stack locals by reference, so returning (or unwinding)
+  // while a helper still runs would be use-after-scope. The first exception
+  // is rethrown on the calling thread once all helpers are done.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto done = std::make_shared<std::atomic<size_t>>(0);
+  auto done_mu = std::make_shared<std::mutex>();
+  auto done_cv = std::make_shared<std::condition_variable>();
+  auto first_error = std::make_shared<std::exception_ptr>();
+
+  auto drain = [next, fn, n, done_mu, first_error]() {
+    InParallelForGuard guard;
+    for (;;) {
+      const size_t i = next->fetch_add(1);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(*done_mu);
+        if (!*first_error) *first_error = std::current_exception();
+        next->store(n);  // Stop dispensing further indices.
+        return;
+      }
+    }
+  };
+
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t w = 0; w < helpers; ++w) {
+    Submit([drain, done, done_mu, done_cv] {
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(*done_mu);
+        done->fetch_add(1);
+      }
+      done_cv->notify_one();
+    });
+  }
+  drain();
+
+  std::unique_lock<std::mutex> lock(*done_mu);
+  done_cv->wait(lock, [done, helpers] { return done->load() == helpers; });
+  if (*first_error) std::rethrow_exception(*first_error);
+}
+
+}  // namespace concealer

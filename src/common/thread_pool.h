@@ -1,0 +1,57 @@
+#ifndef CONCEALER_COMMON_THREAD_POOL_H_
+#define CONCEALER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace concealer {
+
+/// Fixed-size worker pool for fan-out/fan-in parallelism. Tasks are
+/// std::function thunks; ParallelFor blocks until every index has run, so
+/// callers never observe partially applied work. The pool lives outside the
+/// simulated enclave boundary model: workers only touch data the caller
+/// hands them, and the QueryExecutor hands them per-unit state exclusively
+/// (no shared mutable enclave state), keeping the oblivious access pattern
+/// of each unit unchanged.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. 0 is treated as 1 (callers gate
+  /// parallelism on num_threads > 1, but the pool stays usable).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for all of them.
+  /// fn must be safe to invoke concurrently for distinct indices. The
+  /// calling thread participates, so a 1-thread pool degenerates to a
+  /// serial loop with no cross-thread handoff. If fn throws, every helper
+  /// is still joined before the first exception is rethrown here. Nested
+  /// calls (fn invoking ParallelFor again) are detected and run inline —
+  /// they get no extra parallelism, but they cannot deadlock the pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size() + 1; }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_COMMON_THREAD_POOL_H_

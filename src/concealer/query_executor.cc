@@ -17,9 +17,6 @@ namespace {
 std::string ToStringKey(const Bytes& b) {
   return std::string(b.begin(), b.end());
 }
-std::string ToStringKey(Slice s) {
-  return std::string(reinterpret_cast<const char*>(s.data()), s.size());
-}
 
 // Quantized timestamps of a query's time range clipped to one epoch.
 std::vector<uint64_t> QuantizedTimes(const EpochState& state,
@@ -456,6 +453,88 @@ Status QueryExecutor::FilterInto(const EpochState& state, const Query& query,
       agg->max = std::max(agg->max, v);
       if (q4) agg->group_counts[tuple->keys] += 1;
     }
+  }
+  return Status::OK();
+}
+
+Status QueryExecutor::ExecuteUnitsParallel(
+    const EpochState& state, const Query& query,
+    const std::vector<FetchUnit>& units, ThreadPool* pool, AggState* agg,
+    std::unordered_set<std::string>* seen_rows,
+    FilterCache* filter_cache) const {
+  const size_t n = units.size();
+  if (n == 0) return Status::OK();
+
+  FilterCache local_cache;
+  if (filter_cache == nullptr) filter_cache = &local_cache;
+
+  if (pool == nullptr || n == 1) {
+    // Serial loop — the reference semantics the parallel path must match.
+    for (const FetchUnit& unit : units) {
+      StatusOr<FetchedUnit> fetched = Fetch(state, unit, query.oblivious);
+      if (!fetched.ok()) return fetched.status();
+      if (query.verify) {
+        CONCEALER_RETURN_IF_ERROR(Verify(state, *fetched));
+        agg->any_verified = true;
+      }
+      CONCEALER_RETURN_IF_ERROR(FilterInto(state, query, *fetched,
+                                           query.oblivious, agg, seen_rows,
+                                           filter_cache));
+    }
+    return Status::OK();
+  }
+
+  // Distinct key versions whose FilterSets are not cached yet: build them on
+  // the pool alongside the fetches instead of lazily on the merge path.
+  std::vector<uint64_t> versions;
+  for (const FetchUnit& unit : units) {
+    if (filter_cache->count(unit.key_version) == 0 &&
+        std::find(versions.begin(), versions.end(), unit.key_version) ==
+            versions.end()) {
+      versions.push_back(unit.key_version);
+    }
+  }
+
+  // Fan out: tasks [0, n) fetch (and optionally verify) one unit each;
+  // tasks [n, n+versions) each build one FilterSet. All tasks touch only
+  // their own output slot, the const table/enclave, and `state` read-only.
+  std::vector<StatusOr<FetchedUnit>> fetched(
+      n, StatusOr<FetchedUnit>(Status::Internal("unit not fetched")));
+  std::vector<Status> verify_status(n);
+  std::vector<StatusOr<FilterSet>> filters(
+      versions.size(), StatusOr<FilterSet>(Status::Internal("not built")));
+  pool->ParallelFor(n + versions.size(), [&](size_t i) {
+    if (i < n) {
+      fetched[i] = Fetch(state, units[i], query.oblivious);
+      if (query.verify && fetched[i].ok()) {
+        verify_status[i] = Verify(state, *fetched[i]);
+      }
+    } else {
+      filters[i - n] = BuildFilterSet(state, query, versions[i - n]);
+    }
+  });
+
+  // Serial merge in unit order: cross-unit dedup (`seen_rows`) and the
+  // aggregation state evolve exactly as in the serial loop above. Errors
+  // surface in the same order too — a unit's fetch/verify error first, then
+  // a filter-build error at the first unit needing that key version (where
+  // the serial path's lazy build would have hit it).
+  for (size_t i = 0; i < n; ++i) {
+    if (!fetched[i].ok()) return fetched[i].status();
+    if (query.verify) {
+      CONCEALER_RETURN_IF_ERROR(verify_status[i]);
+      agg->any_verified = true;
+    }
+    if (filter_cache->count(units[i].key_version) == 0) {
+      const size_t vi =
+          std::find(versions.begin(), versions.end(), units[i].key_version) -
+          versions.begin();
+      if (!filters[vi].ok()) return filters[vi].status();
+      filter_cache->emplace(versions[vi], std::move(*filters[vi]));
+    }
+    CONCEALER_RETURN_IF_ERROR(FilterInto(state, query, *fetched[i],
+                                         query.oblivious, agg, seen_rows,
+                                         filter_cache));
   }
   return Status::OK();
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "concealer/epoch_state.h"
 #include "concealer/types.h"
 #include "enclave/enclave.h"
@@ -112,6 +113,21 @@ class QueryExecutor {
                     AggState* agg,
                     std::unordered_set<std::string>* seen_rows = nullptr,
                     FilterCache* filter_cache = nullptr) const;
+
+  /// Runs the full per-unit loop (Fetch, optional Verify, FilterInto) for a
+  /// plan's units, fanning the fetch+verify stage out across `pool`. Units
+  /// are independent volume-constant retrievals, so they fetch concurrently;
+  /// filtering/aggregation then merges serially in unit order so the
+  /// cross-unit row dedup and the aggregation state are built exactly as the
+  /// serial loop builds them — answers are byte-identical by construction.
+  /// The per-key-version FilterSets are prebuilt on the pool alongside the
+  /// fetches. With a null pool (or a single unit) this degenerates to the
+  /// serial loop.
+  Status ExecuteUnitsParallel(const EpochState& state, const Query& query,
+                              const std::vector<FetchUnit>& units,
+                              ThreadPool* pool, AggState* agg,
+                              std::unordered_set<std::string>* seen_rows,
+                              FilterCache* filter_cache) const;
 
   /// Produces the final answer from merged aggregation state.
   static QueryResult Finalize(const Query& query, const AggState& agg);

@@ -18,7 +18,16 @@ ServiceProvider::ServiceProvider(ConcealerConfig config, Bytes sk)
       table_("concealer", kNumRowColumns, kColIndex),
       executor_(&enclave_, &table_, config_),
       planner_(config_),
-      rng_(0xc0ffee) {}
+      rng_(0xc0ffee) {
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+}
+
+void ServiceProvider::set_num_threads(uint32_t n) {
+  config_.num_threads = n;
+  pool_ = n > 1 ? std::make_unique<ThreadPool>(n) : nullptr;
+}
 
 Status ServiceProvider::LoadRegistry(Slice encrypted_registry) {
   return enclave_.LoadRegistry(encrypted_registry);
@@ -100,22 +109,13 @@ Status ServiceProvider::ExecuteOnEpoch(EpochState* state, const Query& query,
 
   // Units of one query may fetch overlapping cell-ids (winSecRange
   // intervals, eBPB columns); rows must count once. Filters are built once
-  // per key version and shared across units.
+  // per key version and shared across units. With a pool configured, the
+  // fetch+verify stage fans out across units; merge order stays serial, so
+  // answers are identical to the single-threaded path.
   std::unordered_set<std::string> seen_rows;
   QueryExecutor::FilterCache filter_cache;
-  for (const FetchUnit& unit : *units) {
-    StatusOr<FetchedUnit> fetched =
-        executor_.Fetch(*state, unit, query.oblivious);
-    if (!fetched.ok()) return fetched.status();
-    if (query.verify) {
-      CONCEALER_RETURN_IF_ERROR(executor_.Verify(*state, *fetched));
-      agg->any_verified = true;
-    }
-    CONCEALER_RETURN_IF_ERROR(
-        executor_.FilterInto(*state, query, *fetched, query.oblivious, agg,
-                             &seen_rows, &filter_cache));
-  }
-  return Status::OK();
+  return executor_.ExecuteUnitsParallel(*state, query, *units, pool_.get(),
+                                        agg, &seen_rows, &filter_cache);
 }
 
 Status ServiceProvider::ExecuteOnEpochDynamic(EpochState* state,

@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "concealer/epoch_state.h"
 #include "concealer/query_executor.h"
 #include "concealer/range_planner.h"
@@ -56,6 +57,13 @@ class ServiceProvider {
   /// (§8); 0 disables. Requires f to divide each epoch's bin count.
   void set_super_bin_factor(uint32_t f) { super_bin_factor_ = f; }
 
+  /// Resizes the fetch worker pool at runtime (benches sweep thread counts
+  /// on one ingested pipeline). <= 1 reverts to the serial path; answers
+  /// are identical either way. No effect in dynamic mode (§6), whose
+  /// per-bin re-encryption loop is inherently serial.
+  void set_num_threads(uint32_t n);
+  uint32_t num_threads() const { return config_.num_threads; }
+
   const EncryptedTable& table() const { return table_; }
   EncryptedTable& mutable_table() { return table_; }
   const Enclave& enclave() const { return enclave_; }
@@ -93,6 +101,11 @@ class ServiceProvider {
   QueryExecutor executor_;
   RangePlanner planner_;
   std::map<uint64_t, EpochState> epochs_;
+  /// Workers for the parallel fetch path; null when num_threads <= 1. Lives
+  /// on the untrusted side of the simulated boundary — see
+  /// docs/ARCHITECTURE.md — but workers only run enclave-side per-unit work
+  /// on disjoint state.
+  std::unique_ptr<ThreadPool> pool_;
   bool dynamic_mode_ = false;
   uint32_t super_bin_factor_ = 0;
   Rng rng_;

@@ -35,19 +35,22 @@ struct PlainTuple {
 
 /// Grid/epoch parameters fixed between DP and the enclave at setup time.
 struct ConcealerConfig {
-  /// Grid extent per key attribute: key i hashes into [0, key_buckets[i]).
+  /// Grid extent per key attribute: key i hashes into [0, key_buckets[i])
+  /// — the x axis of Algorithm 1's x-by-y grid (Stage 1, line 8).
   std::vector<uint32_t> key_buckets;
   /// Domain size per key attribute (values are 0..domain-1). The adversary
   /// model assumes attribute domains are public (§2.1); the enclave uses
   /// them to enumerate filters for whole-domain queries (Q2-Q4).
   std::vector<uint64_t> key_domains;
-  /// Number of time subintervals per epoch (the grid's y axis). 0 for
-  /// non-time-series data (no time axis).
+  /// Number of time subintervals per epoch (the grid's y axis, Algorithm 1
+  /// Stage 1). 0 for non-time-series data (no time axis).
   uint32_t time_buckets = 0;
-  /// Number of distinct cell-ids u allocated over the grid; must satisfy
-  /// 0 < u <= total cells.
+  /// Number of distinct cell-ids u allocated over the grid (paper §3 /
+  /// Exp 7's tuning knob); must satisfy 0 < u <= total cells.
   uint32_t num_cell_ids = 0;
-  /// Epoch length in seconds (ignored when time_buckets == 0).
+  /// Epoch length in seconds — the paper's data-collection period T
+  /// (§2.2 Phase 1; a day in Exp 1-4, an hour in §6's dynamic rounds).
+  /// Ignored when time_buckets == 0.
   uint64_t epoch_seconds = 3600;
   /// Timestamps are quantized to this granularity inside the El/Eo filter
   /// columns so the enclave can enumerate filter values for a time range
@@ -65,8 +68,23 @@ struct ConcealerConfig {
   /// winSecRange interval length in time buckets (paper §5.3's λ expressed
   /// in grid subintervals). 0 = max(1, time_buckets / 20).
   uint32_t winsec_lambda_buckets = 0;
-  /// Use best-fit-decreasing instead of first-fit-decreasing bin packing.
+  /// Use best-fit-decreasing instead of the paper's first-fit-decreasing
+  /// bin packing (§4.1 uses FFD for its half-full guarantee; BFD is the
+  /// ablation in bench_ablation).
   bool use_bfd = false;
+  /// Worker threads for the parallel fetch path (implementation extension
+  /// beyond the paper, which measures a single-threaded enclave): a plan's
+  /// FetchUnits are independent volume-constant retrievals, so Step 3
+  /// trapdoor formulation + DBMS fetch + Step 4 chain verification run
+  /// concurrently across units; filtering/aggregation merges serially in
+  /// unit order, keeping answers byte-identical to the serial path.
+  /// <= 1 disables the thread pool; dynamic mode (§6) is unaffected (its
+  /// per-bin re-encryption loop is inherently serial).
+  /// ServiceProvider owns the authoritative
+  /// value (set_num_threads updates it at runtime); copies of this config
+  /// held elsewhere (e.g. inside QueryExecutor, which receives the pool
+  /// explicitly) may go stale and must not consult this field.
+  uint32_t num_threads = 1;
 };
 
 /// The two vectors DP shares per epoch (paper Table 2b):

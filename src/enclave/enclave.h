@@ -1,6 +1,7 @@
 #ifndef CONCEALER_ENCLAVE_ENCLAVE_H_
 #define CONCEALER_ENCLAVE_ENCLAVE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -35,8 +36,8 @@ struct Session {
 ///     hash `H` are derived inside the enclave from `sk`, matching Alg. 1's
 ///     `k ← sk‖eid` key schedule.
 ///
-/// The repro_why note in DESIGN.md explains why a simulation preserves the
-/// paper's measured behaviour (the SDK's sim mode executes the same code).
+/// docs/ARCHITECTURE.md explains why a simulation preserves the paper's
+/// measured behaviour (the SGX SDK's sim mode executes the same code).
 class Enclave {
  public:
   /// `sk` is the 32-byte secret shared with the data provider (paper §2.1).
@@ -69,7 +70,7 @@ class Enclave {
   /// verifiable tags) sent under the epoch's randomized key.
   StatusOr<Bytes> DecryptEpochBlob(uint64_t epoch_id, Slice ciphertext) const;
 
-  uint64_t ecalls() const { return ecalls_; }
+  uint64_t ecalls() const { return ecalls_.load(std::memory_order_relaxed); }
   bool registry_loaded() const { return registry_loaded_; }
 
  private:
@@ -77,7 +78,9 @@ class Enclave {
   GridHash grid_hash_;
   Registry registry_;
   bool registry_loaded_ = false;
-  mutable uint64_t ecalls_ = 0;
+  /// Atomic: cipher factories are called concurrently by the parallel
+  /// fetch path (one DetCipher per worker, derived inside the enclave).
+  mutable std::atomic<uint64_t> ecalls_{0};
 };
 
 }  // namespace concealer

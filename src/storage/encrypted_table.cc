@@ -17,6 +17,7 @@ Status EncryptedTable::Insert(Row row) {
   const uint64_t row_id = store_.Append(std::move(row));
   CONCEALER_RETURN_IF_ERROR(
       index_.Insert(store_.GetRef(row_id)->columns[index_column_], row_id));
+  std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.rows_inserted;
   return Status::OK();
 }
@@ -30,16 +31,22 @@ Status EncryptedTable::InsertBatch(std::vector<Row> rows) {
 
 std::vector<Row> EncryptedTable::FetchByIndexKeys(
     const std::vector<Bytes>& keys) const {
+  // Counters are accumulated locally and folded in under the lock once per
+  // batch: fetches run concurrently in the parallel query path, and the
+  // B+-tree itself is read-only here.
   std::vector<Row> out;
   out.reserve(keys.size());
+  uint64_t hits = 0;
   for (const Bytes& key : keys) {
-    ++stats_.index_probes;
     StatusOr<uint64_t> row_id = index_.Get(key);
     if (!row_id.ok()) continue;
-    ++stats_.index_hits;
-    ++stats_.rows_fetched;
+    ++hits;
     out.push_back(*store_.GetRef(*row_id));
   }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.index_probes += keys.size();
+  stats_.index_hits += hits;
+  stats_.rows_fetched += hits;
   return out;
 }
 
@@ -47,23 +54,29 @@ std::vector<std::pair<uint64_t, Row>> EncryptedTable::FetchWithIds(
     const std::vector<Bytes>& keys) const {
   std::vector<std::pair<uint64_t, Row>> out;
   out.reserve(keys.size());
+  uint64_t hits = 0;
   for (const Bytes& key : keys) {
-    ++stats_.index_probes;
     StatusOr<uint64_t> row_id = index_.Get(key);
     if (!row_id.ok()) continue;
-    ++stats_.index_hits;
-    ++stats_.rows_fetched;
+    ++hits;
     out.emplace_back(*row_id, *store_.GetRef(*row_id));
   }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.index_probes += keys.size();
+  stats_.index_hits += hits;
+  stats_.rows_fetched += hits;
   return out;
 }
 
 void EncryptedTable::Scan(
     const std::function<bool(const Row&)>& visitor) const {
+  uint64_t scanned = 0;
   for (uint64_t id = 0; id < store_.size(); ++id) {
-    ++stats_.rows_scanned;
-    if (!visitor(*store_.GetRef(id))) return;
+    ++scanned;
+    if (!visitor(*store_.GetRef(id))) break;
   }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.rows_scanned += scanned;
 }
 
 Status EncryptedTable::ReindexRows(

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -75,8 +76,17 @@ class EncryptedTable {
   uint64_t num_rows() const { return store_.size(); }
   uint64_t TotalBytes() const { return store_.TotalBytes(); }
 
-  const TableStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = TableStats(); }
+  /// Snapshot of the cumulative counters. Fetches run concurrently in the
+  /// parallel query path, so reads go through the same lock the fetch paths
+  /// batch their updates under.
+  TableStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = TableStats();
+  }
 
  private:
   std::string name_;
@@ -84,6 +94,7 @@ class EncryptedTable {
   size_t index_column_;
   RowStore store_;
   BPlusTree index_;
+  mutable std::mutex stats_mu_;
   mutable TableStats stats_;
 };
 

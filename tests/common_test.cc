@@ -3,14 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "common/coding.h"
 #include "common/hex.h"
 #include "common/random.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace concealer {
 namespace {
@@ -193,6 +196,48 @@ TEST(HexTest, DecodeRejectsBadInput) {
   EXPECT_FALSE(HexDecode("abc").ok());   // Odd length.
   EXPECT_FALSE(HexDecode("zz").ok());    // Non-hex char.
   EXPECT_TRUE(HexDecode("ABCD").ok());   // Uppercase accepted.
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(4);
+  std::atomic<size_t> ran{0};
+  pool.ParallelFor(0, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0u);
+  pool.ParallelFor(1, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 1u);
+  // Fewer items than workers: the surplus workers must not deadlock.
+  pool.ParallelFor(2, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);  // One worker: a queued nested helper could never run.
+  std::atomic<int> inner_runs{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { inner_runs.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_runs.load(), 32);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsBackToBack) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(64, [&](size_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 20u * (64u * 63u / 2));
 }
 
 }  // namespace

@@ -613,5 +613,60 @@ TEST_F(TamperTest, SuperBinRoutingPreservesAnswers) {
   }
 }
 
+// --- Parallel fetch path ---
+
+// The thread-pool path must be a pure performance change: for every range
+// method, aggregate shape and mode, the parallel executor's answer must be
+// byte-identical (serialized QueryResult) to the serial one.
+TEST_F(ConcealerE2ETest, ParallelExecutionMatchesSerialByteForByte) {
+  std::vector<Query> queries;
+  for (RangeMethod method : {RangeMethod::kBPB, RangeMethod::kEBPB,
+                             RangeMethod::kWinSecRange}) {
+    queries.push_back(RangeQuery(4, 2 * 3600, 9 * 3600, method));
+    Query topk = RangeQuery(0, 3 * 3600, 6 * 3600, method);
+    topk.agg = Aggregate::kTopK;
+    topk.key_values.clear();  // Whole-domain Q2.
+    topk.k = 4;
+    queries.push_back(topk);
+    Query verified = RangeQuery(7, 86400 + 3600, 86400 + 5 * 3600, method);
+    verified.verify = true;
+    queries.push_back(verified);
+    Query oblivious = RangeQuery(2, 4 * 3600, 7 * 3600, method);
+    oblivious.oblivious = true;
+    queries.push_back(oblivious);
+  }
+
+  for (const Query& q : queries) {
+    sp_->set_num_threads(1);
+    auto serial = sp_->Execute(q);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (uint32_t threads : {2u, 4u}) {
+      sp_->set_num_threads(threads);
+      auto parallel = sp_->Execute(q);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      EXPECT_EQ(SerializeQueryResult(*serial), SerializeQueryResult(*parallel))
+          << "method=" << static_cast<int>(q.method)
+          << " agg=" << static_cast<int>(q.agg) << " verify=" << q.verify
+          << " oblivious=" << q.oblivious << " threads=" << threads;
+    }
+  }
+  sp_->set_num_threads(1);
+}
+
+// Repeated parallel runs of one query must be deterministic (no
+// merge-order or dedup races).
+TEST_F(ConcealerE2ETest, ParallelExecutionIsDeterministic) {
+  Query q = RangeQuery(5, 3600, 10 * 3600, RangeMethod::kWinSecRange);
+  sp_->set_num_threads(4);
+  auto first = sp_->Execute(q);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto again = sp_->Execute(q);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(SerializeQueryResult(*first), SerializeQueryResult(*again));
+  }
+  sp_->set_num_threads(1);
+}
+
 }  // namespace
 }  // namespace concealer
