@@ -1,0 +1,128 @@
+// Multi-tenant service: several users share one Concealer deployment.
+//
+//   1. DP registers three users and encrypts a day of readings.
+//   2. A QueryService wraps the service provider: each user authenticates
+//      ONCE (Phase 2) and receives a session token.
+//   3. Users fire queries concurrently; overlapping queries reuse the
+//      enclave's trapdoor/filter work through the shared cross-query
+//      cache, and every answer comes back encrypted under the session key.
+//
+// Build: cmake --build build && ./build/multi_tenant_service
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "concealer/data_provider.h"
+#include "concealer/wire.h"
+#include "enclave/registry.h"
+#include "service/query_service.h"
+
+using namespace concealer;  // Example code; library code never does this.
+
+int main() {
+  // --- Setup: same grid as quickstart ----------------------------------
+  ConcealerConfig config;
+  config.key_buckets = {8};
+  config.key_domains = {10};
+  config.time_buckets = 24;
+  config.num_cell_ids = 40;
+  config.epoch_seconds = 86400;
+  config.time_quantum = 60;
+
+  DataProvider dp(config, Bytes(32, 0x5e));
+  const Bytes alice_secret{'a', '1'};
+  const Bytes bob_secret{'b', '2'};
+  const Bytes carol_secret{'c', '3'};
+  if (!dp.RegisterUser("alice", alice_secret, "dev-alice").ok()) return 1;
+  if (!dp.RegisterUser("bob", bob_secret, "").ok()) return 1;
+  if (!dp.RegisterUser("carol", carol_secret, "").ok()) return 1;
+
+  std::vector<PlainTuple> readings;
+  for (uint64_t minute = 0; minute < 600; ++minute) {
+    PlainTuple t;
+    t.keys = {minute % 10};
+    t.time = minute * 60;
+    t.observation = minute % 3 == 0 ? "dev-alice" : "dev-other";
+    readings.push_back(std::move(t));
+  }
+  auto epochs = dp.EncryptAll(readings);
+  if (!epochs.ok()) return 1;
+
+  // --- The service: sessions + shared cache + admission gate -----------
+  QueryServiceOptions options;
+  options.max_inflight = 8;
+  QueryService service(
+      std::make_unique<ServiceProvider>(config, dp.shared_secret()), options);
+  if (!service.LoadRegistry(dp.EncryptedRegistry()).ok()) return 1;
+  for (const auto& epoch : *epochs) {
+    if (!service.IngestEpoch(epoch).ok()) return 1;
+  }
+
+  // Phase 2, once per user.
+  const Bytes alice_proof = Registry::MakeProof(alice_secret, "alice");
+  const Bytes bob_proof = Registry::MakeProof(bob_secret, "bob");
+  const Bytes carol_proof = Registry::MakeProof(carol_secret, "carol");
+  auto alice = service.OpenSession("alice", alice_proof);
+  auto bob = service.OpenSession("bob", bob_proof);
+  auto carol = service.OpenSession("carol", carol_proof);
+  if (!alice.ok() || !bob.ok() || !carol.ok()) return 1;
+  std::printf("three sessions open, %llu proof checks performed\n",
+              (unsigned long long)service.sessions().authentications());
+
+  // --- Concurrent queries ----------------------------------------------
+  // Bob and Carol ask overlapping questions from their own threads; the
+  // second asker hits the cross-query cache instead of redoing the
+  // enclave's DET work.
+  Query occupancy;
+  occupancy.agg = Aggregate::kCount;
+  occupancy.key_values = {{4}};
+  occupancy.time_lo = 0;
+  occupancy.time_hi = 2 * 3600;
+
+  std::vector<uint64_t> counts(2);
+  std::thread bob_thread([&] {
+    auto r = service.Execute(*bob, occupancy);
+    counts[0] = r.ok() ? r->count : ~0ull;
+  });
+  std::thread carol_thread([&] {
+    auto r = service.Execute(*carol, occupancy);
+    counts[1] = r.ok() ? r->count : ~0ull;
+  });
+  bob_thread.join();
+  carol_thread.join();
+  std::printf("count(room=4, 00:00-02:00): bob=%llu carol=%llu (agree: %s)\n",
+              (unsigned long long)counts[0], (unsigned long long)counts[1],
+              counts[0] == counts[1] ? "yes" : "NO");
+  auto stats = service.cache_stats();
+  std::printf("shared cache after both: %llu trapdoor hits, %llu misses\n",
+              (unsigned long long)stats.trapdoor_hits,
+              (unsigned long long)stats.trapdoor_misses);
+
+  // --- Encrypted results + authorization -------------------------------
+  // Alice runs an individualized query about her own device and decrypts
+  // the Phase 4 blob with her proof-derived key.
+  Query mine;
+  mine.agg = Aggregate::kKeysWithObservation;
+  mine.observation = "dev-alice";
+  mine.time_lo = 0;
+  mine.time_hi = 86399;
+  auto blob = service.ExecuteEncrypted(*alice, mine);
+  if (!blob.ok()) return 1;
+  auto mine_result = QueryService::DecryptResult(alice_proof, "alice", *blob);
+  if (!mine_result.ok()) return 1;
+  std::printf("alice's device seen at %zu rooms (decrypted client-side)\n",
+              mine_result->keyed_counts.size());
+
+  // Bob owns no observation: the same query on his session is refused.
+  auto denied = service.Execute(*bob, mine);
+  std::printf("bob asking about alice's device: %s\n",
+              denied.status().ToString().c_str());
+
+  // Closed sessions stop working immediately.
+  service.CloseSession(*carol);
+  auto closed = service.Execute(*carol, occupancy);
+  std::printf("carol after closing her session: %s\n",
+              closed.status().ToString().c_str());
+  return 0;
+}

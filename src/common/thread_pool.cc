@@ -6,14 +6,23 @@
 namespace concealer {
 
 namespace {
-// Set while a thread executes ParallelFor work. A nested ParallelFor on the
-// same pool would enqueue helper tasks no free worker can ever take (the
-// nesting thread is the one blocked waiting), so nested calls run inline.
-thread_local bool tls_in_parallel_for = false;
+// The pool whose ParallelFor work this thread is currently executing (null
+// outside any). A nested ParallelFor on the SAME pool would enqueue helper
+// tasks no free worker can ever take (the nesting thread is the one blocked
+// waiting), so same-pool nesting runs inline. Nesting across DISTINCT pools
+// proceeds normally — e.g. the service layer's scheduler fanning out
+// queries whose fetch units then fan out on the provider's own pool — and
+// cannot deadlock: every ParallelFor's calling thread drains indices
+// itself, so progress never depends on another pool's workers being free.
+thread_local const ThreadPool* tls_parallel_for_pool = nullptr;
 
 struct InParallelForGuard {
-  InParallelForGuard() { tls_in_parallel_for = true; }
-  ~InParallelForGuard() { tls_in_parallel_for = false; }
+  explicit InParallelForGuard(const ThreadPool* pool)
+      : prev(tls_parallel_for_pool) {
+    tls_parallel_for_pool = pool;
+  }
+  ~InParallelForGuard() { tls_parallel_for_pool = prev; }
+  const ThreadPool* prev;
 };
 }  // namespace
 
@@ -60,9 +69,10 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (workers_.empty() || n == 1 || tls_in_parallel_for) {
-    // Nested ParallelFor (fn itself fanning out) degrades to inline
-    // execution instead of deadlocking on the occupied workers.
+  if (workers_.empty() || n == 1 || tls_parallel_for_pool == this) {
+    // Same-pool nested ParallelFor (fn itself fanning out on this pool)
+    // degrades to inline execution instead of deadlocking on the occupied
+    // workers.
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -80,8 +90,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   auto done_cv = std::make_shared<std::condition_variable>();
   auto first_error = std::make_shared<std::exception_ptr>();
 
-  auto drain = [next, fn, n, done_mu, first_error]() {
-    InParallelForGuard guard;
+  auto drain = [this, next, fn, n, done_mu, first_error]() {
+    InParallelForGuard guard(this);
     for (;;) {
       const size_t i = next->fetch_add(1);
       if (i >= n) return;

@@ -36,8 +36,11 @@ class ThreadPool {
   /// calling thread participates, so a 1-thread pool degenerates to a
   /// serial loop with no cross-thread handoff. If fn throws, every helper
   /// is still joined before the first exception is rethrown here. Nested
-  /// calls (fn invoking ParallelFor again) are detected and run inline —
-  /// they get no extra parallelism, but they cannot deadlock the pool.
+  /// calls on the SAME pool (fn invoking this pool's ParallelFor again)
+  /// are detected and run inline — they get no extra parallelism, but they
+  /// cannot deadlock the pool. Nesting across distinct pools parallelizes
+  /// normally (the service scheduler's fan-out composes with the
+  /// provider's per-query fetch pool).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return workers_.size() + 1; }

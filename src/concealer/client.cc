@@ -18,8 +18,7 @@ StatusOr<QueryResult> Client::Run(ServiceProvider* sp,
   if (!blob.ok()) return blob.status();
 
   RandCipher cipher;
-  CONCEALER_RETURN_IF_ERROR(cipher.SetKey(
-      DeriveKey(proof_, "concealer.result", Slice(user_id_))));
+  CONCEALER_RETURN_IF_ERROR(cipher.SetKey(DeriveResultKey(proof_, user_id_)));
   StatusOr<Bytes> plain = cipher.Decrypt(*blob);
   if (!plain.ok()) return plain.status();
   return DeserializeQueryResult(*plain);

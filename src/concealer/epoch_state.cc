@@ -54,6 +54,7 @@ StatusOr<EpochState> EpochState::Create(const Enclave& enclave,
 }
 
 StatusOr<const BinPlan*> EpochState::GetBinPlan(PackAlgorithm algo) {
+  std::lock_guard<std::mutex> lock(*plans_mu_);
   if (!bin_plan_.has_value()) {
     StatusOr<BinPlan> plan = MakeBinPlan(layout_.count_per_cell_id, algo);
     if (!plan.ok()) return plan.status();
@@ -68,6 +69,7 @@ StatusOr<const EpochState::IntervalPlan*> EpochState::GetIntervalPlan(
   if (lambda == 0 || (time_buckets > 0 && lambda > time_buckets)) {
     return Status::InvalidArgument("bad winSecRange interval length");
   }
+  std::lock_guard<std::mutex> lock(*plans_mu_);
   auto it = interval_plans_.find(lambda);
   if (it != interval_plans_.end()) return &it->second;
 
@@ -105,6 +107,7 @@ StatusOr<uint32_t> EpochState::GetEbpbBinSize(uint32_t num_cells) {
   if (num_cells == 0) {
     return Status::InvalidArgument("eBPB window must cover >= 1 cell");
   }
+  std::lock_guard<std::mutex> lock(*plans_mu_);
   auto it = ebpb_bin_sizes_.find(num_cells);
   if (it != ebpb_bin_sizes_.end()) return it->second;
 

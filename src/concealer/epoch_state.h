@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 
 #include "common/status.h"
@@ -19,6 +21,15 @@ namespace concealer {
 /// method, and the re-encryption counter of the dynamic-insertion path.
 /// This is the "meta-index kept at the trusted entity" (§6) — it never
 /// leaves the enclave in the model.
+///
+/// Thread safety: the lazy plan getters (GetBinPlan / GetIntervalPlan /
+/// GetEbpbBinSize) serialize plan construction behind an internal mutex, so
+/// concurrent *read-path* queries (static mode) may share one EpochState.
+/// Returned plan pointers stay valid for the EpochState's lifetime — plans
+/// are built once and never mutated, and the interval/eBPB caches are
+/// node-stable maps. The dynamic-insertion mutators (tags(), bump counters,
+/// set_bin_key_version) are NOT internally synchronized; callers must hold
+/// an exclusive lock over the whole dynamic write path (QueryService does).
 class EpochState {
  public:
   /// Decodes an ingested epoch inside the enclave: rebuilds the grid from
@@ -55,7 +66,8 @@ class EpochState {
   uint64_t num_fake_tuples() const { return num_fakes_; }
   uint64_t num_real_tuples() const { return num_real_; }
 
-  /// BPB bin plan (Alg. 2 Step 0) — built on first use, cached.
+  /// BPB bin plan (Alg. 2 Step 0) — built on first use, cached. Safe to
+  /// call concurrently (see class comment).
   StatusOr<const BinPlan*> GetBinPlan(PackAlgorithm algo);
 
   /// winSecRange interval plan for window length `lambda` (in time
@@ -88,6 +100,9 @@ class EpochState {
   GridLayout layout_;
   VerificationTags tags_;
 
+  /// Guards lazy construction of the three plan caches below (EpochState is
+  /// movable, so the mutex lives behind a pointer).
+  std::unique_ptr<std::mutex> plans_mu_ = std::make_unique<std::mutex>();
   std::optional<BinPlan> bin_plan_;
   std::map<uint32_t, IntervalPlan> interval_plans_;
   std::map<uint32_t, uint32_t> ebpb_bin_sizes_;

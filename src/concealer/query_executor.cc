@@ -18,6 +18,39 @@ std::string ToStringKey(const Bytes& b) {
   return std::string(b.begin(), b.end());
 }
 
+// One cell-id's real trapdoors E_k(cid‖1..count), in counter order — the
+// unit of work the EnclaveWorkCache memoizes.
+std::vector<Bytes> CellTrapdoors(const DetCipher& det, uint32_t cid,
+                                 uint32_t count) {
+  std::vector<Bytes> tds;
+  tds.reserve(count);
+  for (uint64_t ctr = 1; ctr <= count; ++ctr) {
+    tds.push_back(det.Encrypt(IndexPlain(cid, ctr)));
+  }
+  return tds;
+}
+
+// Cache key for one cell-id's trapdoor list (EnclaveWorkCache).
+std::string TrapdoorCacheKey(uint64_t epoch_id, uint64_t key_version,
+                             uint32_t cell_id) {
+  Bytes key;
+  PutFixed64(&key, epoch_id);
+  PutFixed64(&key, key_version);
+  PutFixed32(&key, cell_id);
+  return ToStringKey(key);
+}
+
+// Cache key for one El filter ciphertext E_k(l‖t) (EnclaveWorkCache).
+std::string ElFilterCacheKey(uint64_t epoch_id, uint64_t key_version,
+                             const std::vector<uint64_t>& kv, uint64_t qtime) {
+  Bytes key;
+  PutFixed64(&key, epoch_id);
+  PutFixed64(&key, key_version);
+  PutFixed64(&key, qtime);
+  for (uint64_t k : kv) PutFixed64(&key, k);
+  return ToStringKey(key);
+}
+
 // Quantized timestamps of a query's time range clipped to one epoch.
 std::vector<uint64_t> QuantizedTimes(const EpochState& state,
                                      const ConcealerConfig& config,
@@ -84,10 +117,22 @@ StatusOr<std::vector<Bytes>> QueryExecutor::MakeTrapdoors(
 
   if (!oblivious) {
     // Plain Step 3: one trapdoor per (cid, counter) plus the fake range.
+    // With a work cache attached, each cell-id's trapdoor list is computed
+    // once per (epoch, key version) and reused by every later query that
+    // touches the cell — the issued bytes (and their order) are identical
+    // either way, since DET encryption is deterministic.
     std::vector<Bytes> trapdoors;
     for (uint32_t cid : unit.cell_ids) {
       if (cid >= c_tuple.size()) {
         return Status::InvalidArgument("cell-id out of range");
+      }
+      if (work_cache_ != nullptr) {
+        std::shared_ptr<const std::vector<Bytes>> cell =
+            work_cache_->cell_trapdoors.GetOrCompute(
+                TrapdoorCacheKey(state.epoch_id(), unit.key_version, cid),
+                [&] { return CellTrapdoors(*det, cid, c_tuple[cid]); });
+        trapdoors.insert(trapdoors.end(), cell->begin(), cell->end());
+        continue;
       }
       for (uint64_t ctr = 1; ctr <= c_tuple[cid]; ++ctr) {
         trapdoors.push_back(det->Encrypt(IndexPlain(cid, ctr)));
@@ -188,15 +233,31 @@ StatusOr<FetchedUnit> QueryExecutor::FetchWithIds(
 
   // Align rows back to cell-ids for verification: a row's Index column is
   // byte-identical to the trapdoor that fetched it.
-  StatusOr<DetCipher> det =
-      enclave_->EpochDetCipher(state.epoch_id(), unit.key_version);
-  if (!det.ok()) return det.status();
   std::unordered_map<std::string, size_t> by_index;
   by_index.reserve(fetched.rows.size());
   for (size_t i = 0; i < fetched.rows.size(); ++i) {
     by_index.emplace(ToStringKey(fetched.rows[i].columns[kColIndex]), i);
   }
   const auto& c_tuple = state.layout().count_per_cell_id;
+  if (!oblivious) {
+    // Plain Step 3 laid `trapdoors` out cell-major in counter order (reals
+    // first, fakes after), so the alignment probes are direct slices of the
+    // vector just issued — no repeated DET work, cached or not.
+    size_t offset = 0;
+    for (uint32_t cid : unit.cell_ids) {
+      auto& list = fetched.real_row_of_cid[cid];
+      for (uint32_t ctr = 0; ctr < c_tuple[cid]; ++ctr) {
+        auto it = by_index.find(ToStringKey((*trapdoors)[offset + ctr]));
+        if (it != by_index.end()) list.push_back(it->second);
+      }
+      offset += c_tuple[cid];
+    }
+    return fetched;
+  }
+  // Oblivious Step 3 reorders its slots, so recompute the per-cell probes.
+  StatusOr<DetCipher> det =
+      enclave_->EpochDetCipher(state.epoch_id(), unit.key_version);
+  if (!det.ok()) return det.status();
   for (uint32_t cid : unit.cell_ids) {
     auto& list = fetched.real_row_of_cid[cid];
     for (uint64_t ctr = 1; ctr <= c_tuple[cid]; ++ctr) {
@@ -269,13 +330,23 @@ StatusOr<QueryExecutor::FilterSet> QueryExecutor::BuildFilterSet(
   filters.use_el = query.agg != Aggregate::kKeysWithObservation;
   filters.use_eo = !query.observation.empty();
 
+  // The El cache is bypassed for oblivious queries: their §4.3 guarantee
+  // includes a constant enclave work trace, which reuse would perturb.
+  const bool use_cache = work_cache_ != nullptr && !query.oblivious;
   if (filters.use_el) {
     StatusOr<std::vector<std::vector<uint64_t>>> keys =
         KeyUniverse(config_, query);
     if (!keys.ok()) return keys.status();
     for (const auto& kv : *keys) {
       for (uint64_t t : times) {
-        Bytes ct = det->Encrypt(KeyTimePlain(kv, t));
+        Bytes ct;
+        if (use_cache) {
+          ct = *work_cache_->el_filters.GetOrCompute(
+              ElFilterCacheKey(state.epoch_id(), key_version, kv, t),
+              [&] { return det->Encrypt(KeyTimePlain(kv, t)); });
+        } else {
+          ct = det->Encrypt(KeyTimePlain(kv, t));
+        }
         std::string sk = ToStringKey(ct);
         if (filters.el_to_key.emplace(sk, kv).second) {
           filters.el_ordered.emplace_back(std::move(sk), kv);

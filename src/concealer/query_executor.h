@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/striped_map.h"
 #include "common/thread_pool.h"
 #include "concealer/epoch_state.h"
 #include "concealer/types.h"
@@ -50,6 +51,45 @@ struct FetchedUnit {
   std::map<uint32_t, std::vector<size_t>> real_row_of_cid;  // Index into rows.
   uint64_t trapdoors_issued = 0;
   uint64_t key_version = 0;
+};
+
+/// Cross-query enclave-work caches shared by every session of the service
+/// layer: deterministic DET ciphertexts that would otherwise be recomputed
+/// by each overlapping query. Both maps are mutex-striped, so concurrent
+/// queries from different users fill and hit them safely.
+///
+/// Leakage: caching changes *when* the enclave computes a ciphertext, never
+/// *which* bytes leave the enclave. A trapdoor cache hit issues the exact
+/// trapdoors a miss would (DET encryption is deterministic), so the DBMS —
+/// the adversary's observation point — sees an access pattern independent
+/// of cache state; filter ciphertexts never leave the enclave at all. Cache
+/// hits therefore reveal nothing beyond the paper's §7 access-pattern
+/// leakage (which already exposes repeated retrieval of the same bin).
+/// Oblivious (§4.3) queries bypass both caches so their constant
+/// per-slot work trace is preserved. See docs/QUERY_LIFECYCLE.md.
+struct EnclaveWorkCache {
+  /// `max_entries` bounds each map (0 = unbounded): long-lived services
+  /// accrue epochs indefinitely, so without a cap the cache would grow
+  /// monotonically; a full shard is flushed and repopulated on demand.
+  explicit EnclaveWorkCache(size_t shards = 16, size_t max_entries = 0)
+      : cell_trapdoors(shards, max_entries), el_filters(shards, max_entries) {}
+
+  /// (epoch, key version, cell-id) -> the cell's real trapdoors
+  /// E_k(cid‖1..c_tuple[cid]), in counter order. Keyed by key version, so
+  /// dynamic-mode re-encryption (which bumps the version) never hits stale
+  /// entries; the provider detaches the cache entirely while dynamic mode
+  /// is on (ServiceProvider::set_dynamic_mode), since version bumps would
+  /// otherwise pile up dead entries without bound.
+  StripedMap<std::string, std::vector<Bytes>> cell_trapdoors;
+  /// (epoch, key version, key coords, time quantum) -> E_k(l‖t), one El
+  /// filter ciphertext. Overlapping time ranges from different queries
+  /// reuse the shared quanta.
+  StripedMap<std::string, Bytes> el_filters;
+
+  void Clear() {
+    cell_trapdoors.Clear();
+    el_filters.Clear();
+  }
 };
 
 /// Enclave-side query machinery shared by the point- and range-query paths:
@@ -132,6 +172,12 @@ class QueryExecutor {
   /// Produces the final answer from merged aggregation state.
   static QueryResult Finalize(const Query& query, const AggState& agg);
 
+  /// Attaches the cross-query work cache (null disables). Set once at
+  /// service setup, before queries run concurrently; the cache itself is
+  /// internally synchronized. Answers are byte-identical with or without a
+  /// cache because DET encryption is deterministic.
+  void set_work_cache(EnclaveWorkCache* cache) { work_cache_ = cache; }
+
   const ConcealerConfig& config() const { return config_; }
 
  private:
@@ -147,6 +193,7 @@ class QueryExecutor {
   const Enclave* enclave_;
   const EncryptedTable* table_;
   ConcealerConfig config_;
+  EnclaveWorkCache* work_cache_ = nullptr;
 };
 
 }  // namespace concealer

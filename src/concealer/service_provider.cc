@@ -1,6 +1,7 @@
 #include "concealer/service_provider.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <set>
 
@@ -285,10 +286,21 @@ StatusOr<Bytes> ServiceProvider::ExecuteForUser(const std::string& user_id,
   // Encrypt the answer under a key only the proving user can derive (the
   // proof doubles as the user-held shared secret; public-key wrapping is
   // out of scope per §1.2).
+  // Clock-mixed: rng_ keeps its fixed seed for the (reproducible) dynamic
+  // path, but nonce seeds must differ across provider instances — the
+  // result key is deterministic per (proof, user), and CTR nonce reuse
+  // under one key leaks plaintext XORs (rand_cipher.h).
+  uint64_t nonce_seed;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    nonce_seed = rng_.Next() ^
+                 static_cast<uint64_t>(std::chrono::steady_clock::now()
+                                           .time_since_epoch()
+                                           .count());
+  }
   RandCipher cipher;
-  CONCEALER_RETURN_IF_ERROR(
-      cipher.SetKey(DeriveKey(proof, "concealer.result", Slice(user_id)),
-                    /*nonce_seed=*/rng_.Next()));
+  CONCEALER_RETURN_IF_ERROR(cipher.SetKey(DeriveResultKey(proof, user_id),
+                                          /*nonce_seed=*/nonce_seed));
   return cipher.Encrypt(SerializeQueryResult(*result));
 }
 

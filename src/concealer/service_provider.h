@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -24,6 +25,17 @@ namespace concealer {
 /// executes user queries (Phase 3). The class boundary mirrors the trust
 /// boundary: everything keyed lives in `enclave_` / `EpochState`; the
 /// table and its stats are the adversary's view.
+///
+/// Thread safety: with dynamic mode off, `Execute`, `ExecuteForUser` and
+/// the read-only accessors (`table()`, `EpochRowRanges()`, `epoch_state`,
+/// `config()`, `enclave()`, `num_epochs()`) are safe to call concurrently
+/// from many threads once setup (LoadRegistry + all IngestEpoch calls,
+/// plus any set_* mutator) has completed — the read path only builds
+/// internally locked lazy plans and touches lock-batched/atomic counters.
+/// Ingesting, the set_* mutators, `mutable_table()`, and any query in
+/// dynamic mode (§6 rewrites rows, tags and key versions) require
+/// exclusive access; the multi-tenant front end (service/query_service.h)
+/// enforces exactly that split with an epoch-level reader/writer lock.
 class ServiceProvider {
  public:
   /// `sk` models the DP-provisioned enclave secret (remote attestation and
@@ -51,7 +63,15 @@ class ServiceProvider {
   /// Enables the dynamic-insertion query path (§6): every epoch touched by
   /// a query contributes exactly max(needed, ceil(log2(#bins))) bins, and
   /// all fetched bins are re-encrypted under a fresh key and rewritten.
-  void set_dynamic_mode(bool on) { dynamic_mode_ = on; }
+  /// While on, any attached work cache is detached and cleared: each query
+  /// bumps the touched bins' key versions, so cached entries die as fast
+  /// as they are created — caching would only accumulate dead-version
+  /// entries without bound.
+  void set_dynamic_mode(bool on) {
+    dynamic_mode_ = on;
+    if (work_cache_ != nullptr && on) work_cache_->Clear();
+    executor_.set_work_cache(on ? nullptr : work_cache_);
+  }
 
   /// Routes every retrieval through super-bins built with factor `f`
   /// (§8); 0 disables. Requires f to divide each epoch's bin count.
@@ -64,6 +84,17 @@ class ServiceProvider {
   void set_num_threads(uint32_t n);
   uint32_t num_threads() const { return config_.num_threads; }
 
+  /// Attaches the cross-query enclave-work cache shared by the service
+  /// layer (null detaches). Call during setup only — not concurrently with
+  /// queries. Held back while dynamic mode is on (see set_dynamic_mode).
+  /// See EnclaveWorkCache for the leakage argument.
+  void set_work_cache(EnclaveWorkCache* cache) {
+    work_cache_ = cache;
+    executor_.set_work_cache(dynamic_mode_ ? nullptr : cache);
+  }
+
+  /// Read-only view of the DBMS. Safe to call (and to read stats through)
+  /// concurrently with static-mode Execute calls; see the class comment.
   const EncryptedTable& table() const { return table_; }
   EncryptedTable& mutable_table() { return table_; }
   const Enclave& enclave() const { return enclave_; }
@@ -71,10 +102,16 @@ class ServiceProvider {
   size_t num_epochs() const { return epochs_.size(); }
 
   /// Enclave-side epoch state (tests introspect bins/tags through this).
+  /// The returned pointer is OWNED BY this ServiceProvider and stays valid
+  /// until the provider is destroyed (epochs are never evicted). Reading
+  /// through it is safe concurrently with static-mode Execute calls;
+  /// writing through it (tags(), set_bin_key_version, ...) — like dynamic
+  /// mode itself — requires exclusive access to the provider.
   StatusOr<EpochState*> epoch_state(uint64_t epoch_id);
 
   /// Public setup metadata: which row-id span each epoch occupies (the
-  /// Opaque baseline scans these).
+  /// Opaque baseline scans these). Safe concurrently with static-mode
+  /// Execute calls.
   std::vector<EpochRowRange> EpochRowRanges() const;
 
  private:
@@ -108,6 +145,13 @@ class ServiceProvider {
   std::unique_ptr<ThreadPool> pool_;
   bool dynamic_mode_ = false;
   uint32_t super_bin_factor_ = 0;
+  /// The service layer's cache, remembered so mode switches can
+  /// detach/reattach it on the executor.
+  EnclaveWorkCache* work_cache_ = nullptr;
+  /// Guards rng_ on the concurrent read path (result-nonce draws in
+  /// ExecuteForUser); the dynamic write path uses rng_ under the exclusive
+  /// access it already requires.
+  std::mutex rng_mu_;
   Rng rng_;
 };
 

@@ -28,4 +28,8 @@ Bytes EpochKey(Slice sk, uint64_t epoch_id, uint64_t reenc_counter) {
   return DeriveKey(sk, "concealer.epoch", ctx);
 }
 
+Bytes DeriveResultKey(Slice proof, const std::string& user_id) {
+  return DeriveKey(proof, "concealer.result", Slice(user_id));
+}
+
 }  // namespace concealer

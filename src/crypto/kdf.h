@@ -25,6 +25,13 @@ Bytes DeriveKey64(Slice master, const std::string& label, uint64_t context);
 /// the round's bins are re-encrypted by the enclave (paper §6).
 Bytes EpochKey(Slice sk, uint64_t epoch_id, uint64_t reenc_counter = 0);
 
+/// Derives the Phase 4 result-encryption key from a user's authentication
+/// proof. The single definition shared by every surface that must agree on
+/// it: the enclave side that seals answers (ServiceProvider::ExecuteForUser,
+/// the service layer's sessions) and the user side that opens them
+/// (Client, QueryService::DecryptResult).
+Bytes DeriveResultKey(Slice proof, const std::string& user_id);
+
 }  // namespace concealer
 
 #endif  // CONCEALER_CRYPTO_KDF_H_

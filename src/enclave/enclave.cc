@@ -27,7 +27,7 @@ Status Enclave::LoadRegistry(Slice encrypted_registry) {
 }
 
 StatusOr<Session> Enclave::Authenticate(const std::string& user_id,
-                                        Slice proof) {
+                                        Slice proof) const {
   ++ecalls_;
   if (!registry_loaded_) {
     return Status::FailedPrecondition("registry not loaded");

@@ -51,8 +51,11 @@ class Enclave {
   Status LoadRegistry(Slice encrypted_registry);
 
   /// Authenticates a user (Phase 3 pre-processing): the proof must equal the
-  /// registered credential. Constant-time comparison.
-  StatusOr<Session> Authenticate(const std::string& user_id, Slice proof);
+  /// registered credential. Constant-time comparison. Const — and safe to
+  /// call concurrently — because the registry is read-only after
+  /// LoadRegistry (the one setup-time write, which must not race with this).
+  StatusOr<Session> Authenticate(const std::string& user_id,
+                                 Slice proof) const;
 
   /// Builds the deterministic cipher for an epoch: E_k with
   /// k = KDF(sk, eid, reenc_counter). Fails only on internal key errors.

@@ -1,0 +1,186 @@
+#include "service/query_service.h"
+
+#include <chrono>
+
+#include "concealer/wire.h"
+#include "crypto/kdf.h"
+#include "crypto/rand_cipher.h"
+
+namespace concealer {
+
+class QueryService::AdmissionSlot {
+ public:
+  explicit AdmissionSlot(QueryService* service) : service_(service) {
+    std::unique_lock<std::mutex> lock(service_->admit_mu_);
+    service_->admit_cv_.wait(lock, [this] {
+      return service_->inflight_ < service_->options_.max_inflight;
+    });
+    ++service_->inflight_;
+  }
+
+  ~AdmissionSlot() {
+    {
+      std::lock_guard<std::mutex> lock(service_->admit_mu_);
+      --service_->inflight_;
+    }
+    service_->admit_cv_.notify_one();
+  }
+
+ private:
+  QueryService* service_;
+};
+
+QueryService::QueryService(std::unique_ptr<ServiceProvider> provider,
+                           QueryServiceOptions options)
+    : options_(options),
+      provider_(std::move(provider)),
+      sessions_(&provider_->enclave(), options_.session_ttl_seconds,
+                options_.clock),
+      // Clock-mixed seed: result keys are deterministic per (proof, user),
+      // so two service instances must not draw the same nonce_seed sequence
+      // for the same user (rand_cipher.h: "distinct instances should pass
+      // distinct seeds" — CTR nonce reuse under one key leaks plaintext
+      // XORs).
+      rng_(0x7e6a27 ^ static_cast<uint64_t>(
+                          std::chrono::steady_clock::now()
+                              .time_since_epoch()
+                              .count())) {
+  if (options_.max_inflight == 0) options_.max_inflight = 1;
+  if (options_.enable_work_cache) {
+    work_cache_ = std::make_unique<EnclaveWorkCache>(
+        options_.cache_shards, options_.cache_max_entries);
+    provider_->set_work_cache(work_cache_.get());
+  }
+  scheduler_ = std::make_unique<ThreadPool>(
+      options_.scheduler_threads == 0 ? 1 : options_.scheduler_threads);
+}
+
+QueryService::~QueryService() { provider_->set_work_cache(nullptr); }
+
+Status QueryService::LoadRegistry(Slice encrypted_registry) {
+  std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+  return provider_->LoadRegistry(encrypted_registry);
+}
+
+Status QueryService::IngestEpoch(const EncryptedEpoch& epoch) {
+  std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+  return provider_->IngestEpoch(epoch);
+}
+
+void QueryService::set_dynamic_mode(bool on) {
+  std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+  dynamic_mode_ = on;
+  provider_->set_dynamic_mode(on);
+}
+
+StatusOr<std::string> QueryService::OpenSession(const std::string& user_id,
+                                                Slice proof) {
+  return sessions_.Open(user_id, proof);
+}
+
+void QueryService::CloseSession(const std::string& token) {
+  sessions_.Close(token);
+}
+
+StatusOr<std::shared_ptr<const SessionState>> QueryService::Authorize(
+    const std::string& token, const Query& query) const {
+  StatusOr<std::shared_ptr<const SessionState>> session =
+      sessions_.Lookup(token);
+  if (!session.ok()) return session.status();
+  // Individualized queries may only target the session user's own
+  // observation (paper §2.1) — same rule ExecuteForUser enforces.
+  if (!query.observation.empty() &&
+      query.observation != (*session)->owned_observation) {
+    return Status::PermissionDenied("user may not query observation '" +
+                                    query.observation + "'");
+  }
+  return session;
+}
+
+StatusOr<QueryResult> QueryService::ExecuteAuthorized(const Query& query) {
+  AdmissionSlot slot(this);
+  for (;;) {
+    if (dynamic_mode_.load(std::memory_order_acquire)) {
+      // §6 queries fetch-and-rewrite: rows are re-encrypted, tags
+      // refreshed, key versions bumped. Exclusive, like ingest. (Safe even
+      // if the mode flipped off meanwhile — a static query under the
+      // exclusive lock is merely over-serialized.)
+      std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+      return provider_->Execute(query);
+    }
+    // Static mode never mutates epoch state (lazy plan builds are
+    // internally locked), so any number of queries share the read lock.
+    std::shared_lock<std::shared_mutex> lock(epoch_mu_);
+    // set_dynamic_mode flips the flag under the exclusive lock, so a
+    // re-check under the shared lock is stable: if it flipped between the
+    // unlocked snapshot above and our acquisition, retry exclusively
+    // rather than run a rewriting query concurrently with readers.
+    if (dynamic_mode_.load(std::memory_order_acquire)) continue;
+    return provider_->Execute(query);
+  }
+}
+
+StatusOr<QueryResult> QueryService::Execute(const std::string& token,
+                                            const Query& query) {
+  StatusOr<std::shared_ptr<const SessionState>> session =
+      Authorize(token, query);
+  if (!session.ok()) return session.status();
+  return ExecuteAuthorized(query);
+}
+
+StatusOr<Bytes> QueryService::ExecuteEncrypted(const std::string& token,
+                                               const Query& query) {
+  StatusOr<std::shared_ptr<const SessionState>> session =
+      Authorize(token, query);
+  if (!session.ok()) return session.status();
+  StatusOr<QueryResult> result = ExecuteAuthorized(query);
+  if (!result.ok()) return result.status();
+
+  uint64_t nonce_seed;
+  {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    nonce_seed = rng_.Next();
+  }
+  RandCipher cipher;
+  CONCEALER_RETURN_IF_ERROR(
+      cipher.SetKey((*session)->result_key, nonce_seed));
+  return cipher.Encrypt(SerializeQueryResult(*result));
+}
+
+std::vector<StatusOr<QueryResult>> QueryService::ExecuteBatch(
+    const std::vector<SessionQuery>& batch) {
+  std::vector<StatusOr<QueryResult>> results(
+      batch.size(), StatusOr<QueryResult>(Status::Internal("not executed")));
+  scheduler_->ParallelFor(batch.size(), [&](size_t i) {
+    results[i] = Execute(batch[i].token, batch[i].query);
+  });
+  return results;
+}
+
+StatusOr<QueryResult> QueryService::DecryptResult(Slice proof,
+                                                  const std::string& user_id,
+                                                  Slice encrypted_result) {
+  RandCipher cipher;
+  CONCEALER_RETURN_IF_ERROR(cipher.SetKey(DeriveResultKey(proof, user_id)));
+  StatusOr<Bytes> plain = cipher.Decrypt(encrypted_result);
+  if (!plain.ok()) return plain.status();
+  return DeserializeQueryResult(*plain);
+}
+
+void QueryService::ClearWorkCache() {
+  if (work_cache_ != nullptr) work_cache_->Clear();
+}
+
+QueryService::CacheStats QueryService::cache_stats() const {
+  CacheStats stats;
+  if (work_cache_ == nullptr) return stats;
+  stats.trapdoor_hits = work_cache_->cell_trapdoors.hits();
+  stats.trapdoor_misses = work_cache_->cell_trapdoors.misses();
+  stats.filter_hits = work_cache_->el_filters.hits();
+  stats.filter_misses = work_cache_->el_filters.misses();
+  stats.trapdoor_entries = work_cache_->cell_trapdoors.size();
+  stats.filter_entries = work_cache_->el_filters.size();
+  return stats;
+}
+
+}  // namespace concealer

@@ -1,0 +1,189 @@
+#ifndef CONCEALER_SERVICE_QUERY_SERVICE_H_
+#define CONCEALER_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "concealer/service_provider.h"
+#include "concealer/types.h"
+#include "service/session_manager.h"
+
+namespace concealer {
+
+struct QueryServiceOptions {
+  /// Workers in the batch scheduler's pool (ExecuteBatch fan-out). Callers
+  /// may also drive Execute from their own threads; this pool only bounds
+  /// the service-side fan-out.
+  uint32_t scheduler_threads = 4;
+  /// Admission cap: at most this many queries execute at once; later
+  /// arrivals block until a slot frees. Backpressure, not a queue — the
+  /// simulation has no async completion channel to deliver results on.
+  uint32_t max_inflight = 16;
+  /// Session token lifetime (Phase 2 amortization window).
+  uint64_t session_ttl_seconds = 24 * 3600;
+  /// Share trapdoor/El-filter work across queries (EnclaveWorkCache).
+  bool enable_work_cache = true;
+  /// Stripe count for the shared caches.
+  size_t cache_shards = 64;
+  /// Entry cap per cache map (0 = unbounded). Bounds memory on services
+  /// that accrue epochs for months; full shards are flushed and simply
+  /// repopulate on demand.
+  size_t cache_max_entries = 1 << 20;
+  /// Test hook: fake clock for session expiry (seconds, monotonic).
+  SessionManager::Clock clock;
+};
+
+/// The multi-tenant front end: owns a ServiceProvider and serves many
+/// concurrent users on top of it. Three things turn the one-caller-at-a-
+/// time provider into a service (see docs/QUERY_LIFECYCLE.md):
+///
+///  1. Sessions — OpenSession runs the Phase 2 proof check once and hands
+///     out a token; every query on the token skips re-authentication and
+///     reuses the derived result key (SessionManager).
+///  2. A cross-query enclave-work cache — trapdoor lists and El filter
+///     ciphertexts are deterministic per (epoch, key version, cell/quantum),
+///     so overlapping queries from different users reuse them instead of
+///     recomputing; the striped cache (EnclaveWorkCache) makes the reuse
+///     thread-safe and the leakage notes there argue why hits reveal
+///     nothing beyond the paper's access-pattern leakage.
+///  3. Concurrency control — static-mode queries run under a shared
+///     (reader) epoch lock, fully parallel; the dynamic-insertion write
+///     path (§6 re-encrypts rows and bumps key versions) takes the lock
+///     exclusively. An admission gate caps in-flight queries; a batch
+///     scheduler fans a whole batch out on the existing ThreadPool.
+///
+/// Thread safety: setup (LoadRegistry / IngestEpoch / set_dynamic_mode /
+/// provider() mutation) must be quiesced before or serialized against
+/// traffic; everything else — OpenSession, CloseSession, Execute,
+/// ExecuteEncrypted, ExecuteBatch, the stats accessors — is safe from any
+/// number of threads.
+class QueryService {
+ public:
+  /// Takes ownership of a (possibly already ingested) provider. The
+  /// service attaches its work cache to the provider; detached on
+  /// destruction.
+  explicit QueryService(std::unique_ptr<ServiceProvider> provider,
+                        QueryServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // --- Setup (exclusive epoch lock; see class comment) -----------------
+
+  Status LoadRegistry(Slice encrypted_registry);
+  Status IngestEpoch(const EncryptedEpoch& epoch);
+
+  /// Switches the §6 dynamic-insertion path on/off. Dynamic queries
+  /// rewrite rows, so the service runs them under the exclusive lock.
+  void set_dynamic_mode(bool on);
+
+  // --- Sessions (Phase 2) ----------------------------------------------
+
+  /// Authenticates once; returns a token valid for session_ttl_seconds.
+  StatusOr<std::string> OpenSession(const std::string& user_id, Slice proof);
+  void CloseSession(const std::string& token);
+
+  // --- Queries (Phase 3/4) ---------------------------------------------
+
+  /// Validates the token, enforces the individualized-query restriction
+  /// (a session may only name its own observation), and executes under
+  /// the epoch lock + admission gate. Plaintext result — the bench/test
+  /// surface, mirroring ServiceProvider::Execute.
+  StatusOr<QueryResult> Execute(const std::string& token, const Query& query);
+
+  /// Like Execute, but returns the result encrypted under the session's
+  /// result key (Phase 4) — the production surface. Decrypt with
+  /// DecryptResult (or Client's equivalent derivation).
+  StatusOr<Bytes> ExecuteEncrypted(const std::string& token,
+                                   const Query& query);
+
+  /// One user-query of a batch.
+  struct SessionQuery {
+    std::string token;
+    Query query;
+  };
+
+  /// Fans a batch out across the scheduler pool, each query individually
+  /// authorized and admission-gated. results[i] corresponds to batch[i].
+  std::vector<StatusOr<QueryResult>> ExecuteBatch(
+      const std::vector<SessionQuery>& batch);
+
+  /// Client-side inverse of ExecuteEncrypted: derives the result key from
+  /// the user's proof (as Client does) and decrypts.
+  static StatusOr<QueryResult> DecryptResult(Slice proof,
+                                             const std::string& user_id,
+                                             Slice encrypted_result);
+
+  // --- Introspection ----------------------------------------------------
+
+  /// The owned provider, for setup and benches. Mutating it while traffic
+  /// is in flight is a data race — quiesce first.
+  ServiceProvider* provider() { return provider_.get(); }
+  const SessionManager& sessions() const { return sessions_; }
+
+  struct CacheStats {
+    uint64_t trapdoor_hits = 0;
+    uint64_t trapdoor_misses = 0;
+    uint64_t filter_hits = 0;
+    uint64_t filter_misses = 0;
+    size_t trapdoor_entries = 0;
+    size_t filter_entries = 0;
+  };
+  CacheStats cache_stats() const;
+
+  /// Drops every cached entry (hit/miss counters are kept). Benches use
+  /// this to measure sweeps from a cold cache; correctness never depends
+  /// on it. Safe concurrently with traffic — in-flight queries holding
+  /// entries keep them alive — but any measurement around it should be
+  /// quiesced.
+  void ClearWorkCache();
+
+ private:
+  /// RAII admission slot: blocks in the constructor until the in-flight
+  /// count drops below max_inflight.
+  class AdmissionSlot;
+
+  /// Session + authorization checks shared by the query surfaces.
+  StatusOr<std::shared_ptr<const SessionState>> Authorize(
+      const std::string& token, const Query& query) const;
+
+  /// Admission gate + epoch lock + provider execution.
+  StatusOr<QueryResult> ExecuteAuthorized(const Query& query);
+
+  QueryServiceOptions options_;
+  std::unique_ptr<ServiceProvider> provider_;
+  std::unique_ptr<EnclaveWorkCache> work_cache_;  // Null when disabled.
+  SessionManager sessions_;
+  std::unique_ptr<ThreadPool> scheduler_;
+
+  /// Epoch-level reader/writer lock: shared for static-mode queries and
+  /// read-only introspection, exclusive for ingest and dynamic-mode
+  /// queries.
+  std::shared_mutex epoch_mu_;
+  /// Atomic so the lock-mode decision in ExecuteAuthorized can read it
+  /// without holding the lock it is choosing.
+  std::atomic<bool> dynamic_mode_{false};
+
+  std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  uint32_t inflight_ = 0;
+
+  /// Nonce seeds for result encryption (guarded by rng_mu_).
+  std::mutex rng_mu_;
+  Rng rng_;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,88 @@
+#include "service/session_manager.h"
+
+#include <chrono>
+
+#include "common/coding.h"
+#include "common/hex.h"
+#include "crypto/kdf.h"
+
+namespace concealer {
+
+namespace {
+
+uint64_t SteadySeconds() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::seconds>(
+                                   std::chrono::steady_clock::now()
+                                       .time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+SessionManager::SessionManager(const Enclave* enclave, uint64_t ttl_seconds,
+                               Clock clock)
+    : enclave_(enclave),
+      ttl_seconds_(ttl_seconds),
+      clock_(clock ? std::move(clock) : Clock(SteadySeconds)),
+      token_rng_(0x5e551045 ^ SteadySeconds()) {}
+
+StatusOr<std::string> SessionManager::Open(const std::string& user_id,
+                                           Slice proof) {
+  authentications_.fetch_add(1, std::memory_order_relaxed);
+  StatusOr<Session> session = enclave_->Authenticate(user_id, proof);
+  if (!session.ok()) return session.status();
+
+  auto state = std::make_shared<SessionState>();
+  state->user_id = session->user_id;
+  state->owned_observation = session->owned_observation;
+  state->result_key = DeriveResultKey(proof, user_id);
+  state->expires_at = clock_() + ttl_seconds_;
+
+  // counter ‖ 16 random bytes: the counter guarantees uniqueness even on
+  // PRNG seed collisions across service restarts.
+  Bytes raw;
+  std::lock_guard<std::mutex> lock(mu_);
+  PutFixed64(&raw, ++token_counter_);
+  raw.resize(raw.size() + 16);
+  token_rng_.FillBytes(raw.data() + 8, 16);
+  std::string token = HexEncode(raw);
+  sessions_.emplace(token, std::move(state));
+
+  // Amortized sweep: abandoned tokens are otherwise only reclaimed if
+  // re-presented, which a long-lived service cannot count on. Every
+  // kSweepInterval opens costs one O(sessions) pass — O(1) amortized.
+  constexpr uint64_t kSweepInterval = 64;
+  if (token_counter_ % kSweepInterval == 0) {
+    const uint64_t now = clock_();
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      it = now >= it->second->expires_at ? sessions_.erase(it) : ++it;
+    }
+  }
+  return token;
+}
+
+StatusOr<std::shared_ptr<const SessionState>> SessionManager::Lookup(
+    const std::string& token) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) {
+    return Status::PermissionDenied("session expired or unknown");
+  }
+  if (clock_() >= it->second->expires_at) {
+    sessions_.erase(it);
+    return Status::PermissionDenied("session expired or unknown");
+  }
+  return it->second;
+}
+
+void SessionManager::Close(const std::string& token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(token);
+}
+
+size_t SessionManager::ActiveSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace concealer

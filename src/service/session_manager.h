@@ -1,0 +1,99 @@
+#ifndef CONCEALER_SERVICE_SESSION_MANAGER_H_
+#define CONCEALER_SERVICE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "enclave/enclave.h"
+
+namespace concealer {
+
+/// Everything the service layer keeps for one authenticated user between
+/// queries. Immutable once created, so lookups can hand out shared
+/// pointers without copying under the lock.
+struct SessionState {
+  std::string user_id;
+  /// Observation value this user may run individualized queries about
+  /// (paper §2.1: users are trusted only with their own data). Empty =
+  /// aggregate queries only.
+  std::string owned_observation;
+  /// Result-encryption key, derived from the user's proof exactly as
+  /// ServiceProvider::ExecuteForUser derives it — the same Client-side
+  /// decryption works against both paths.
+  Bytes result_key;
+  /// Expiry instant, in seconds on the manager's clock.
+  uint64_t expires_at = 0;
+};
+
+/// Issues and validates session tokens for the multi-tenant front end
+/// (service/query_service.h). A user authenticates ONCE — one enclave
+/// proof check (Phase 2, constant-time credential compare) plus one result
+/// key derivation — and every later query rides the returned token until
+/// it expires or is closed. This is what lets repeated queries from the
+/// same user skip re-authentication under heavy traffic.
+///
+/// Thread safety: all methods are safe to call concurrently; the session
+/// table is guarded by one mutex (operations are O(1) lookups), and the
+/// enclave proof check itself is const.
+class SessionManager {
+ public:
+  /// Injectable time source (seconds, monotonic). Tests drive expiry with
+  /// a fake clock; the default reads std::chrono::steady_clock.
+  using Clock = std::function<uint64_t()>;
+
+  /// `enclave` must outlive the manager. `ttl_seconds` bounds how long a
+  /// token stays valid after Open.
+  SessionManager(const Enclave* enclave, uint64_t ttl_seconds,
+                 Clock clock = nullptr);
+
+  /// Phase 2 once per user: validates the proof inside the enclave and
+  /// returns an opaque session token. PermissionDenied on a bad proof or
+  /// unknown user; FailedPrecondition before the registry is loaded.
+  StatusOr<std::string> Open(const std::string& user_id, Slice proof);
+
+  /// Resolves a token. Expired sessions are erased on the spot and report
+  /// PermissionDenied("session expired"), as do unknown tokens (the two
+  /// cases are deliberately indistinguishable to a token guesser).
+  StatusOr<std::shared_ptr<const SessionState>> Lookup(
+      const std::string& token) const;
+
+  /// Invalidates a token immediately. Unknown tokens are a no-op.
+  void Close(const std::string& token);
+
+  size_t ActiveSessions() const;
+
+  /// Number of enclave proof checks performed — the work sessions amortize
+  /// (tests assert one authentication serves many queries).
+  uint64_t authentications() const {
+    return authentications_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const Enclave* enclave_;
+  const uint64_t ttl_seconds_;
+  const Clock clock_;
+
+  mutable std::mutex mu_;
+  /// Mutable: const Lookup lazily erases entries found expired.
+  mutable std::unordered_map<std::string, std::shared_ptr<const SessionState>>
+      sessions_;
+  /// Token entropy source (guarded by mu_). Tokens are bearer handles in a
+  /// simulation whose transport layer is a function call — uniqueness, not
+  /// unguessability, is the property queries rely on, so a seeded PRNG
+  /// plus a monotonic counter suffices (a deployment would use a CSPRNG).
+  Rng token_rng_;
+  uint64_t token_counter_ = 0;
+  std::atomic<uint64_t> authentications_{0};
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_SERVICE_SESSION_MANAGER_H_
