@@ -7,16 +7,31 @@
 // Shape to hold: cleartext (indexed) < Concealer < Concealer+, with
 // Concealer+ roughly 1.5-2x Concealer, and all of them fast (sub-second
 // at scale) because the fetch unit is one bin, not the table.
+//
+// JSON: pass an output path as argv[1] (or set CONCEALER_BENCH_JSON) to
+// write machine-readable results; CI runs this in smoke mode (high
+// CONCEALER_SCALE) and uploads the artifact so point-query latency is
+// tracked alongside the crypto microbench.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "crypto/aes_backend.h"
 
 using namespace concealer;
 
 namespace {
 
-void RunDataset(bool large) {
+struct DatasetRow {
+  std::string name;
+  double cleartext_s = 0;
+  double concealer_s = 0;
+  double concealer_plus_s = 0;
+  uint64_t bin_rows = 0;
+};
+
+DatasetRow RunDataset(bool large) {
   bench::WifiDataset ds = bench::MakeWifiDataset(large);
   bench::Pipeline p = bench::BuildPipeline(ds, /*build_oracle=*/true);
 
@@ -34,23 +49,58 @@ void RunDataset(bool large) {
     fetched = r.ok() ? r->rows_fetched : 0;
   }
   const double n = queries.size();
-  std::printf("%-36s %12.6f %12.6f %12.6f %10llu\n", ds.name.c_str(),
-              clear / n, conc / n, conc_plus / n,
-              (unsigned long long)fetched);
+  DatasetRow row;
+  row.name = ds.name;
+  row.cleartext_s = clear / n;
+  row.concealer_s = conc / n;
+  row.concealer_plus_s = conc_plus / n;
+  row.bin_rows = fetched;
+  std::printf("%-36s %12.6f %12.6f %12.6f %10llu\n", row.name.c_str(),
+              row.cleartext_s, row.concealer_s, row.concealer_plus_s,
+              (unsigned long long)row.bin_rows);
+  return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader("Exp 2 / Table 5: point-query scalability",
                      "paper Table 5 (cleartext vs Concealer vs Concealer+)");
+  std::printf("crypto backend: %s\n", ActiveAesBackend()->name);
   std::printf("%-36s %12s %12s %12s %10s\n", "dataset", "cleartext(s)",
               "Concealer(s)", "Conc+(s)", "bin rows");
-  RunDataset(/*large=*/false);
-  RunDataset(/*large=*/true);
+  std::vector<DatasetRow> rows;
+  rows.push_back(RunDataset(/*large=*/false));
+  rows.push_back(RunDataset(/*large=*/true));
   std::printf("\npaper: cleartext 0.03/0.05s, Concealer 0.23/0.90s, "
               "Concealer+ 0.37/1.38s\nshape: cleartext < Concealer < "
               "Concealer+ (oblivious overhead), all << full scan\n");
+
+  const char* json_path = bench::BenchJsonPath(argc, argv);
+  if (json_path != nullptr) {
+    bench::JsonWriter j;
+    j.BeginObject();
+    j.Key("bench"); j.String("exp2_point");
+    j.Key("schema_version"); j.Number(uint64_t{1});
+    j.Key("scale"); j.Number(bench::Scale());
+    j.Key("reps"); j.Number(uint64_t(bench::Reps()));
+    j.Key("crypto_backend"); j.String(ActiveAesBackend()->name);
+    j.Key("datasets");
+    j.BeginArray();
+    for (const DatasetRow& r : rows) {
+      j.BeginObject();
+      j.Key("name"); j.String(r.name);
+      j.Key("cleartext_seconds"); j.Number(r.cleartext_s);
+      j.Key("concealer_seconds"); j.Number(r.concealer_s);
+      j.Key("concealer_plus_seconds"); j.Number(r.concealer_plus_s);
+      j.Key("bin_rows"); j.Number(r.bin_rows);
+      j.EndObject();
+    }
+    j.EndArray();
+    j.EndObject();
+    bench::WriteFileOrDie(json_path, j.str());
+  }
+
   bench::PrintFooter();
   return 0;
 }

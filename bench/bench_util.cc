@@ -237,5 +237,78 @@ void PrintFooter() {
   std::printf("----------------------------------------------------------------\n\n");
 }
 
+void JsonWriter::Sep() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_) out_ += ',';
+  first_ = false;
+}
+
+void JsonWriter::Key(const std::string& k) {
+  Sep();
+  out_ += '"';
+  out_ += k;  // Keys are caller-controlled identifiers; no escaping needed.
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& v) {
+  Sep();
+  out_ += '"';
+  for (char c : v) {
+    if (c == '"' || c == '\\') {
+      out_ += '\\';
+      out_ += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out_ += buf;
+    } else {
+      out_ += c;
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::Number(double v) {
+  Sep();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+}
+
+void JsonWriter::Number(uint64_t v) {
+  Sep();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool v) {
+  Sep();
+  out_ += v ? "true" : "false";
+}
+
+const char* BenchJsonPath(int argc, char** argv) {
+  if (argc > 1 && argv[1][0] != '-') return argv[1];
+  return std::getenv("CONCEALER_BENCH_JSON");
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::abort();
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  if (written != content.size() || std::fclose(f) != 0) {
+    std::fprintf(stderr, "short write: %s\n", path.c_str());
+    std::abort();
+  }
+  std::printf("wrote JSON results to %s\n", path.c_str());
+}
+
 }  // namespace bench
 }  // namespace concealer

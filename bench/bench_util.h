@@ -76,6 +76,45 @@ std::vector<Query> RandomPointQueries(const WifiDataset& dataset, int count,
 void PrintHeader(const std::string& title, const std::string& paper_ref);
 void PrintFooter();
 
+/// Minimal JSON emitter for the bench artifacts CI uploads. Structural
+/// correctness is on the caller (balanced Begin/End, keys only inside
+/// objects); values are escaped. Usage:
+///
+///   JsonWriter j;
+///   j.BeginObject();
+///   j.Key("bench"); j.String("crypto_micro");
+///   j.Key("results"); j.BeginArray();
+///     j.BeginObject(); ... j.EndObject();
+///   j.EndArray();
+///   j.EndObject();
+///   WriteFileOrDie(path, j.str());
+class JsonWriter {
+ public:
+  void BeginObject() { Sep(); out_ += '{'; first_ = true; }
+  void EndObject() { out_ += '}'; first_ = false; }
+  void BeginArray() { Sep(); out_ += '['; first_ = true; }
+  void EndArray() { out_ += ']'; first_ = false; }
+  void Key(const std::string& k);
+  void String(const std::string& v);
+  void Number(double v);
+  void Number(uint64_t v);
+  void Bool(bool v);
+  const std::string& str() const { return out_; }
+
+ private:
+  void Sep();
+  std::string out_;
+  bool first_ = true;
+  bool after_key_ = false;
+};
+
+/// Standard JSON output location for a bench binary: argv[1] if present,
+/// else the CONCEALER_BENCH_JSON environment variable, else null (no JSON).
+const char* BenchJsonPath(int argc, char** argv);
+
+/// Writes `content` to `path`; aborts with a message on failure.
+void WriteFileOrDie(const std::string& path, const std::string& content);
+
 }  // namespace bench
 }  // namespace concealer
 

@@ -6,23 +6,30 @@
 namespace concealer {
 
 namespace {
-// The pool whose ParallelFor work this thread is currently executing (null
-// outside any). A nested ParallelFor on the SAME pool would enqueue helper
-// tasks no free worker can ever take (the nesting thread is the one blocked
-// waiting), so same-pool nesting runs inline. Nesting across DISTINCT pools
-// proceeds normally — e.g. the service layer's scheduler fanning out
-// queries whose fetch units then fan out on the provider's own pool — and
-// cannot deadlock: every ParallelFor's calling thread drains indices
-// itself, so progress never depends on another pool's workers being free.
-thread_local const ThreadPool* tls_parallel_for_pool = nullptr;
+// The pool whose ParallelFor work this thread is currently executing (pool
+// null outside any) and the worker slot it drains under. A nested
+// ParallelFor on the SAME pool would enqueue helper tasks no free worker
+// can ever take (the nesting thread is the one blocked waiting), so
+// same-pool nesting runs inline — under the enclosing slot, so per-slot
+// scratch stays single-threaded. Nesting across DISTINCT pools proceeds
+// normally — e.g. the service layer's scheduler fanning out queries whose
+// fetch units then fan out on the provider's own pool — and cannot
+// deadlock: every ParallelFor's calling thread drains indices itself, so
+// progress never depends on another pool's workers being free.
+struct ParallelForTls {
+  const ThreadPool* pool = nullptr;
+  size_t worker = 0;
+};
+thread_local ParallelForTls tls_parallel_for;
 
 struct InParallelForGuard {
-  explicit InParallelForGuard(const ThreadPool* pool)
-      : prev(tls_parallel_for_pool) {
-    tls_parallel_for_pool = pool;
+  InParallelForGuard(const ThreadPool* pool, size_t worker)
+      : prev(tls_parallel_for) {
+    tls_parallel_for.pool = pool;
+    tls_parallel_for.worker = worker;
   }
-  ~InParallelForGuard() { tls_parallel_for_pool = prev; }
-  const ThreadPool* prev;
+  ~InParallelForGuard() { tls_parallel_for = prev; }
+  ParallelForTls prev;
 };
 }  // namespace
 
@@ -67,13 +74,24 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  ParallelFor(n, [&fn](size_t i, size_t /*worker*/) { fn(i); });
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
-  if (workers_.empty() || n == 1 || tls_parallel_for_pool == this) {
+  if (tls_parallel_for.pool == this) {
     // Same-pool nested ParallelFor (fn itself fanning out on this pool)
     // degrades to inline execution instead of deadlocking on the occupied
-    // workers.
-    for (size_t i = 0; i < n; ++i) fn(i);
+    // workers; it keeps the slot of the enclosing drain so per-slot
+    // scratch state stays owned by one thread.
+    for (size_t i = 0; i < n; ++i) fn(i, tls_parallel_for.worker);
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i, 0);
     return;
   }
 
@@ -90,13 +108,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   auto done_cv = std::make_shared<std::condition_variable>();
   auto first_error = std::make_shared<std::exception_ptr>();
 
-  auto drain = [this, next, fn, n, done_mu, first_error]() {
-    InParallelForGuard guard(this);
+  // `worker` is this drain's slot: 0 for the calling thread, i+1 for the
+  // i-th helper task. Each slot is driven by exactly one thread at a time.
+  auto drain = [this, next, fn, n, done_mu, first_error](size_t worker) {
+    InParallelForGuard guard(this, worker);
     for (;;) {
       const size_t i = next->fetch_add(1);
       if (i >= n) return;
       try {
-        fn(i);
+        fn(i, worker);
       } catch (...) {
         std::lock_guard<std::mutex> lock(*done_mu);
         if (!*first_error) *first_error = std::current_exception();
@@ -108,8 +128,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
   const size_t helpers = std::min(workers_.size(), n - 1);
   for (size_t w = 0; w < helpers; ++w) {
-    Submit([drain, done, done_mu, done_cv] {
-      drain();
+    Submit([drain, done, done_mu, done_cv, w] {
+      drain(w + 1);
       {
         std::lock_guard<std::mutex> lock(*done_mu);
         done->fetch_add(1);
@@ -117,7 +137,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       done_cv->notify_one();
     });
   }
-  drain();
+  drain(0);
 
   std::unique_lock<std::mutex> lock(*done_mu);
   done_cv->wait(lock, [done, helpers] { return done->load() == helpers; });

@@ -43,6 +43,14 @@ class ThreadPool {
   /// provider's per-query fetch pool).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// ParallelFor variant that also hands fn a worker slot in
+  /// [0, num_threads()): the calling thread drains as slot 0, the i-th
+  /// enlisted helper as slot i+1. At any instant each live slot is driven
+  /// by exactly one thread, so fn may index per-slot scratch state (e.g.
+  /// reusable crypto buffers) without synchronization. Same-pool nested
+  /// calls run inline under the enclosing invocation's slot.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
   size_t num_threads() const { return workers_.size() + 1; }
 
  private:

@@ -69,10 +69,20 @@ StatusOr<EncryptedEpoch> EpochEncryptor::EncryptEpoch(
     const uint64_t qtime = grid.QuantizeTime(tuple.time);
     Row row;
     row.columns.resize(kNumRowColumns);
-    row.columns[kColEl] = det.Encrypt(KeyTimePlain(tuple.keys, qtime));
-    row.columns[kColEo] = det.Encrypt(ObsTimePlain(tuple.observation, qtime));
-    row.columns[kColEr] = det.Encrypt(TuplePlain(tuple));
-    row.columns[kColIndex] = det.Encrypt(IndexPlain(cid, counter));
+    // All four columns through one batched DET call: the synthetic IVs
+    // (CMACs) compute in lockstep lanes, which is where most of the
+    // per-tuple cost sits. Bytes identical to four single Encrypts.
+    const Bytes el_plain = KeyTimePlain(tuple.keys, qtime);
+    const Bytes eo_plain = ObsTimePlain(tuple.observation, qtime);
+    const Bytes er_plain = TuplePlain(tuple);
+    const Bytes idx_plain = IndexPlain(cid, counter);
+    const Slice plains[4] = {el_plain, eo_plain, er_plain, idx_plain};
+    Bytes cols[4];
+    det.EncryptBatch(plains, 4, cols);
+    row.columns[kColEl] = std::move(cols[0]);
+    row.columns[kColEo] = std::move(cols[1]);
+    row.columns[kColEr] = std::move(cols[2]);
+    row.columns[kColIndex] = std::move(cols[3]);
 
     if (config_.make_hash_chains) {
       RunningChains& rc = chains[cid];

@@ -19,15 +19,46 @@ std::string ToStringKey(const Bytes& b) {
 }
 
 // One cell-id's real trapdoors E_k(cid‖1..count), in counter order — the
-// unit of work the EnclaveWorkCache memoizes.
+// unit of work the EnclaveWorkCache memoizes. `plain` is the caller's
+// reusable plaintext assembly buffer.
 std::vector<Bytes> CellTrapdoors(const DetCipher& det, uint32_t cid,
-                                 uint32_t count) {
+                                 uint32_t count, Bytes* plain) {
   std::vector<Bytes> tds;
   tds.reserve(count);
   for (uint64_t ctr = 1; ctr <= count; ++ctr) {
-    tds.push_back(det.Encrypt(IndexPlain(cid, ctr)));
+    IndexPlainTo(plain, cid, ctr);
+    tds.push_back(det.Encrypt(*plain));
   }
   return tds;
+}
+
+// Chunk size for batched Er decryption: bounds scratch growth while keeping
+// the multi-lane CMAC pipeline full.
+constexpr size_t kDecryptChunk = 64;
+
+// Runs DetCipher::DecryptBatch over the ciphertext views staged in
+// scratch->ct_views and feeds each parsed tuple to `absorb` in order —
+// identical outcomes (values, error, error position) to a serial
+// decrypt-parse loop. Shared by the plain and oblivious filter paths.
+template <typename Absorb>
+Status DecryptAndAbsorb(const DetCipher& det,
+                        QueryExecutor::UnitScratch* scratch,
+                        const Absorb& absorb) {
+  const size_t total = scratch->ct_views.size();
+  if (scratch->pt_bufs.size() < std::min(total, kDecryptChunk)) {
+    scratch->pt_bufs.resize(std::min(total, kDecryptChunk));
+  }
+  for (size_t base = 0; base < total; base += kDecryptChunk) {
+    const size_t n = std::min(kDecryptChunk, total - base);
+    CONCEALER_RETURN_IF_ERROR(det.DecryptBatch(
+        scratch->ct_views.data() + base, n, scratch->pt_bufs.data()));
+    for (size_t i = 0; i < n; ++i) {
+      StatusOr<PlainTuple> tuple = ParseTuplePlain(scratch->pt_bufs[i]);
+      if (!tuple.ok()) return tuple.status();
+      CONCEALER_RETURN_IF_ERROR(absorb(*tuple));
+    }
+  }
+  return Status::OK();
 }
 
 // Cache key for one cell-id's trapdoor list (EnclaveWorkCache).
@@ -107,10 +138,11 @@ StatusOr<std::vector<std::vector<uint64_t>>> KeyUniverse(
 
 StatusOr<std::vector<Bytes>> QueryExecutor::MakeTrapdoors(
     const EpochState& state, const FetchUnit& unit, bool oblivious,
-    uint64_t* issued) const {
+    uint64_t* issued, UnitScratch* scratch) const {
   StatusOr<DetCipher> det =
       enclave_->EpochDetCipher(state.epoch_id(), unit.key_version);
   if (!det.ok()) return det.status();
+  Bytes* plain = &scratch->index_plain;
 
   const auto& c_tuple = state.layout().count_per_cell_id;
   const uint64_t fake_pool = state.num_fake_tuples();
@@ -130,12 +162,13 @@ StatusOr<std::vector<Bytes>> QueryExecutor::MakeTrapdoors(
         std::shared_ptr<const std::vector<Bytes>> cell =
             work_cache_->cell_trapdoors.GetOrCompute(
                 TrapdoorCacheKey(state.epoch_id(), unit.key_version, cid),
-                [&] { return CellTrapdoors(*det, cid, c_tuple[cid]); });
+                [&] { return CellTrapdoors(*det, cid, c_tuple[cid], plain); });
         trapdoors.insert(trapdoors.end(), cell->begin(), cell->end());
         continue;
       }
       for (uint64_t ctr = 1; ctr <= c_tuple[cid]; ++ctr) {
-        trapdoors.push_back(det->Encrypt(IndexPlain(cid, ctr)));
+        IndexPlainTo(plain, cid, ctr);
+        trapdoors.push_back(det->Encrypt(*plain));
       }
     }
     for (uint64_t j = 0; j < unit.fake_count; ++j) {
@@ -144,7 +177,8 @@ StatusOr<std::vector<Bytes>> QueryExecutor::MakeTrapdoors(
         fid = (fid - 1) % fake_pool + 1;
       }
       if (fake_pool == 0) break;  // No fakes provisioned; degrade gracefully.
-      trapdoors.push_back(det->Encrypt(IndexPlain(kFakeCellId, fid)));
+      IndexPlainTo(plain, kFakeCellId, fid);
+      trapdoors.push_back(det->Encrypt(*plain));
     }
     *issued = trapdoors.size();
     return trapdoors;
@@ -213,30 +247,38 @@ StatusOr<std::vector<Bytes>> QueryExecutor::MakeTrapdoors(
 
 StatusOr<FetchedUnit> QueryExecutor::FetchWithIds(
     const EpochState& state, const FetchUnit& unit, bool oblivious,
-    std::vector<uint64_t>* row_ids) const {
+    std::vector<uint64_t>* row_ids, UnitScratch* scratch) const {
+  UnitScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+
   uint64_t issued = 0;
   StatusOr<std::vector<Bytes>> trapdoors =
-      MakeTrapdoors(state, unit, oblivious, &issued);
+      MakeTrapdoors(state, unit, oblivious, &issued, scratch);
   if (!trapdoors.ok()) return trapdoors.status();
 
   FetchedUnit fetched;
   fetched.trapdoors_issued = issued;
   fetched.key_version = unit.key_version;
 
-  auto pairs = table_->FetchWithIds(*trapdoors);
-  fetched.rows.reserve(pairs.size());
-  if (row_ids != nullptr) row_ids->reserve(pairs.size());
-  for (auto& [row_id, row] : pairs) {
-    if (row_ids != nullptr) row_ids->push_back(row_id);
-    fetched.rows.push_back(std::move(row));
+  // Zero-copy fetch: borrow the matched rows from the store instead of
+  // copying each one (see FetchedUnit's borrow rules).
+  std::vector<RowRef> refs;
+  table_->FetchRefs(*trapdoors, &refs);
+  fetched.rows.reserve(refs.size());
+  if (row_ids != nullptr) row_ids->reserve(refs.size());
+  for (const RowRef& ref : refs) {
+    if (row_ids != nullptr) row_ids->push_back(ref.row_id);
+    fetched.rows.push_back(ref.row);
   }
 
   // Align rows back to cell-ids for verification: a row's Index column is
-  // byte-identical to the trapdoor that fetched it.
-  std::unordered_map<std::string, size_t> by_index;
+  // byte-identical to the trapdoor that fetched it. The map is per-worker
+  // scratch — cleared here, its buckets reused across units.
+  std::unordered_map<std::string, size_t>& by_index = scratch->by_index;
+  by_index.clear();
   by_index.reserve(fetched.rows.size());
   for (size_t i = 0; i < fetched.rows.size(); ++i) {
-    by_index.emplace(ToStringKey(fetched.rows[i].columns[kColIndex]), i);
+    by_index.emplace(ToStringKey(fetched.rows[i]->columns[kColIndex]), i);
   }
   const auto& c_tuple = state.layout().count_per_cell_id;
   if (!oblivious) {
@@ -261,7 +303,8 @@ StatusOr<FetchedUnit> QueryExecutor::FetchWithIds(
   for (uint32_t cid : unit.cell_ids) {
     auto& list = fetched.real_row_of_cid[cid];
     for (uint64_t ctr = 1; ctr <= c_tuple[cid]; ++ctr) {
-      auto it = by_index.find(ToStringKey(det->Encrypt(IndexPlain(cid, ctr))));
+      IndexPlainTo(&scratch->index_plain, cid, ctr);
+      auto it = by_index.find(ToStringKey(det->Encrypt(scratch->index_plain)));
       if (it != by_index.end()) list.push_back(it->second);
     }
   }
@@ -270,8 +313,9 @@ StatusOr<FetchedUnit> QueryExecutor::FetchWithIds(
 
 StatusOr<FetchedUnit> QueryExecutor::Fetch(const EpochState& state,
                                            const FetchUnit& unit,
-                                           bool oblivious) const {
-  return FetchWithIds(state, unit, oblivious, nullptr);
+                                           bool oblivious,
+                                           UnitScratch* scratch) const {
+  return FetchWithIds(state, unit, oblivious, nullptr, scratch);
 }
 
 Status QueryExecutor::Verify(const EpochState& state,
@@ -296,7 +340,7 @@ Status QueryExecutor::Verify(const EpochState& state,
     Sha256::Digest el{}, eo{}, er{};
     bool started = false;
     for (size_t idx : row_idxs) {
-      const Row& row = fetched.rows[idx];
+      const Row& row = *fetched.rows[idx];
       el = ChainStep(row.columns[kColEl], started ? &el : nullptr);
       eo = ChainStep(row.columns[kColEo], started ? &eo : nullptr);
       er = ChainStep(row.columns[kColEr], started ? &er : nullptr);
@@ -367,7 +411,8 @@ Status QueryExecutor::FilterInto(const EpochState& state, const Query& query,
                                  const FetchedUnit& fetched, bool oblivious,
                                  AggState* agg,
                                  std::unordered_set<std::string>* seen_rows,
-                                 FilterCache* filter_cache) const {
+                                 FilterCache* filter_cache,
+                                 UnitScratch* scratch) const {
   const FilterSet* filters_ptr = nullptr;
   FilterSet local;
   if (filter_cache != nullptr) {
@@ -400,25 +445,8 @@ Status QueryExecutor::FilterInto(const EpochState& state, const Query& query,
                            query.agg == Aggregate::kMax;
   const bool q4 = query.agg == Aggregate::kKeysWithObservation;
 
-  auto absorb_match = [&](const std::vector<uint64_t>& key_coords,
-                          const Row& row) -> Status {
-    ++agg->rows_matched;
-    ++agg->count;
-    if (needs_value || q4) {
-      StatusOr<Bytes> er = det->Decrypt(row.columns[kColEr]);
-      if (!er.ok()) return er.status();
-      StatusOr<PlainTuple> tuple = ParseTuplePlain(*er);
-      if (!tuple.ok()) return tuple.status();
-      const uint64_t v = PayloadValue(*tuple);
-      agg->sum += v;
-      agg->min = std::min(agg->min, v);
-      agg->max = std::max(agg->max, v);
-      agg->group_counts[tuple->keys] += 1;
-    } else {
-      agg->group_counts[key_coords] += 1;
-    }
-    return Status::OK();
-  };
+  UnitScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
 
   // Dedup across fetch units: the Index column identifies a row uniquely
   // within a key version (DET over distinct (cid, ctr) plaintexts).
@@ -430,22 +458,51 @@ Status QueryExecutor::FilterInto(const EpochState& state, const Query& query,
         .second;
   };
 
+  // Value aggregates absorb decrypted tuples; the decryption itself runs
+  // batched (one enclave "transition" worth of rows per DecryptBatch call)
+  // over ciphertext views staged during the match scan. sum/min/max and the
+  // group-count map are order-insensitive, so batching changes no answer
+  // byte relative to the seed's decrypt-per-row loop.
+  auto absorb_tuple = [&](const PlainTuple& tuple) -> Status {
+    const uint64_t v = PayloadValue(tuple);
+    agg->sum += v;
+    agg->min = std::min(agg->min, v);
+    agg->max = std::max(agg->max, v);
+    if (q4 || !oblivious) agg->group_counts[tuple.keys] += 1;
+    return Status::OK();
+  };
+
   if (!oblivious) {
-    for (const Row& row : fetched.rows) {
+    scratch->ct_views.clear();
+    for (const Row* row_ptr : fetched.rows) {
+      const Row& row = *row_ptr;
       if (!is_fresh(row)) continue;
       const std::string el = ToStringKey(row.columns[kColEl]);
       const std::string eo = ToStringKey(row.columns[kColEo]);
       const bool eo_ok = !filters.use_eo || filters.eo_set.count(eo) > 0;
+      bool matched = false;
+      const std::vector<uint64_t>* key_coords = nullptr;
       if (q4) {
-        if (filters.eo_set.count(eo) > 0) {
-          CONCEALER_RETURN_IF_ERROR(absorb_match({}, row));
+        matched = filters.eo_set.count(eo) > 0;
+      } else {
+        auto it = filters.el_to_key.find(el);
+        if (it != filters.el_to_key.end() && eo_ok) {
+          matched = true;
+          key_coords = &it->second;
         }
-        continue;
       }
-      auto it = filters.el_to_key.find(el);
-      if (it != filters.el_to_key.end() && eo_ok) {
-        CONCEALER_RETURN_IF_ERROR(absorb_match(it->second, row));
+      if (!matched) continue;
+      ++agg->rows_matched;
+      ++agg->count;
+      if (needs_value || q4) {
+        scratch->ct_views.push_back(Slice(row.columns[kColEr]));
+      } else {
+        agg->group_counts[*key_coords] += 1;
       }
+    }
+    if (needs_value || q4) {
+      CONCEALER_RETURN_IF_ERROR(
+          DecryptAndAbsorb(*det, scratch, absorb_tuple));
     }
     return Status::OK();
   }
@@ -458,7 +515,7 @@ Status QueryExecutor::FilterInto(const EpochState& state, const Query& query,
   std::vector<uint64_t> flags(n, 0);
   std::vector<uint64_t> filter_hits(filters.el_ordered.size(), 0);
   for (size_t i = 0; i < n; ++i) {
-    const Row& row = fetched.rows[i];
+    const Row& row = *fetched.rows[i];
     const Slice el(row.columns[kColEl]);
     const Slice eo(row.columns[kColEo]);
     const uint64_t fresh = is_fresh(row) ? 1 : 0;
@@ -495,35 +552,30 @@ Status QueryExecutor::FilterInto(const EpochState& state, const Query& query,
   }
 
   if (needs_value || q4) {
-    // Oblivious partition by flag, then decrypt the matched prefix.
+    // Oblivious partition by flag, then batch-decrypt the matched prefix
+    // (one DecryptBatch per kDecryptChunk rows instead of one enclave
+    // decrypt per row).
     size_t max_len = 1;
-    for (const Row& row : fetched.rows) {
-      max_len = std::max(max_len, row.columns[kColEr].size());
+    for (const Row* row : fetched.rows) {
+      max_len = std::max(max_len, row->columns[kColEr].size());
     }
     std::vector<SortRecord> recs(n);
     for (size_t i = 0; i < n; ++i) {
       recs[i].key = flags[i];
       Bytes payload;
       PutFixed32(&payload, static_cast<uint32_t>(
-                               fetched.rows[i].columns[kColEr].size()));
-      PutBytes(&payload, fetched.rows[i].columns[kColEr]);
+                               fetched.rows[i]->columns[kColEr].size()));
+      PutBytes(&payload, fetched.rows[i]->columns[kColEr]);
       payload.resize(4 + max_len, 0);
       recs[i].payload = std::move(payload);
     }
     ObliviousPartitionByFlag(&recs);
+    scratch->ct_views.clear();
     for (uint64_t i = 0; i < matched; ++i) {
       const uint32_t len = DecodeFixed32(recs[i].payload.data());
-      StatusOr<Bytes> er = det->Decrypt(
-          Slice(recs[i].payload.data() + 4, len));
-      if (!er.ok()) return er.status();
-      StatusOr<PlainTuple> tuple = ParseTuplePlain(*er);
-      if (!tuple.ok()) return tuple.status();
-      const uint64_t v = PayloadValue(*tuple);
-      agg->sum += v;
-      agg->min = std::min(agg->min, v);
-      agg->max = std::max(agg->max, v);
-      if (q4) agg->group_counts[tuple->keys] += 1;
+      scratch->ct_views.push_back(Slice(recs[i].payload.data() + 4, len));
     }
+    CONCEALER_RETURN_IF_ERROR(DecryptAndAbsorb(*det, scratch, absorb_tuple));
   }
   return Status::OK();
 }
@@ -541,8 +593,11 @@ Status QueryExecutor::ExecuteUnitsParallel(
 
   if (pool == nullptr || n == 1) {
     // Serial loop — the reference semantics the parallel path must match.
+    // One scratch serves every unit (single thread).
+    UnitScratch scratch;
     for (const FetchUnit& unit : units) {
-      StatusOr<FetchedUnit> fetched = Fetch(state, unit, query.oblivious);
+      StatusOr<FetchedUnit> fetched =
+          Fetch(state, unit, query.oblivious, &scratch);
       if (!fetched.ok()) return fetched.status();
       if (query.verify) {
         CONCEALER_RETURN_IF_ERROR(Verify(state, *fetched));
@@ -550,7 +605,7 @@ Status QueryExecutor::ExecuteUnitsParallel(
       }
       CONCEALER_RETURN_IF_ERROR(FilterInto(state, query, *fetched,
                                            query.oblivious, agg, seen_rows,
-                                           filter_cache));
+                                           filter_cache, &scratch));
     }
     return Status::OK();
   }
@@ -568,15 +623,19 @@ Status QueryExecutor::ExecuteUnitsParallel(
 
   // Fan out: tasks [0, n) fetch (and optionally verify) one unit each;
   // tasks [n, n+versions) each build one FilterSet. All tasks touch only
-  // their own output slot, the const table/enclave, and `state` read-only.
+  // their own output slot, their worker slot's scratch, the const
+  // table/enclave, and `state` read-only. Scratch is per worker slot — each
+  // slot is driven by one thread at a time (ParallelFor contract), so the
+  // reused crypto buffers never race.
   std::vector<StatusOr<FetchedUnit>> fetched(
       n, StatusOr<FetchedUnit>(Status::Internal("unit not fetched")));
   std::vector<Status> verify_status(n);
   std::vector<StatusOr<FilterSet>> filters(
       versions.size(), StatusOr<FilterSet>(Status::Internal("not built")));
-  pool->ParallelFor(n + versions.size(), [&](size_t i) {
+  std::vector<UnitScratch> scratch(pool->num_threads());
+  pool->ParallelFor(n + versions.size(), [&](size_t i, size_t worker) {
     if (i < n) {
-      fetched[i] = Fetch(state, units[i], query.oblivious);
+      fetched[i] = Fetch(state, units[i], query.oblivious, &scratch[worker]);
       if (query.verify && fetched[i].ok()) {
         verify_status[i] = Verify(state, *fetched[i]);
       }
@@ -589,7 +648,9 @@ Status QueryExecutor::ExecuteUnitsParallel(
   // aggregation state evolve exactly as in the serial loop above. Errors
   // surface in the same order too — a unit's fetch/verify error first, then
   // a filter-build error at the first unit needing that key version (where
-  // the serial path's lazy build would have hit it).
+  // the serial path's lazy build would have hit it). The merge runs on the
+  // calling thread, whose worker slot is 0 — its scratch is free again.
+  UnitScratch& merge_scratch = scratch[0];
   for (size_t i = 0; i < n; ++i) {
     if (!fetched[i].ok()) return fetched[i].status();
     if (query.verify) {
@@ -605,7 +666,7 @@ Status QueryExecutor::ExecuteUnitsParallel(
     }
     CONCEALER_RETURN_IF_ERROR(FilterInto(state, query, *fetched[i],
                                          query.oblivious, agg, seen_rows,
-                                         filter_cache));
+                                         filter_cache, &merge_scratch));
   }
   return Status::OK();
 }

@@ -45,8 +45,14 @@ struct FetchUnit {
 /// Result of fetching one unit, with enclave-side alignment of rows back to
 /// cell-ids (by matching the Index column against the issued trapdoors) for
 /// hash-chain verification.
+///
+/// Rows are borrowed from the table's row store (zero-copy fetch): valid
+/// while the table is not ingesting or rewriting, which the epoch-level
+/// locking guarantees for the lifetime of a query — static queries hold the
+/// shared lock across fetch/verify/filter, and the dynamic path finishes
+/// reading a unit before it rewrites that unit's rows.
 struct FetchedUnit {
-  std::vector<Row> rows;
+  std::vector<const Row*> rows;
   /// Real rows grouped per cell-id in counter order (chain order).
   std::map<uint32_t, std::vector<size_t>> real_row_of_cid;  // Index into rows.
   uint64_t trapdoors_issued = 0;
@@ -112,6 +118,21 @@ class QueryExecutor {
   /// Per-query filter cache, keyed by key version.
   using FilterCache = std::map<uint64_t, FilterSet>;
 
+  /// Reusable per-worker scratch for the fetch/decrypt loop: one of these
+  /// per ParallelFor worker slot (or one per serial loop) turns the
+  /// per-row/per-trapdoor allocations into amortized reuse of the same
+  /// buffers. Not thread-safe — each instance must be driven by one thread
+  /// at a time, which the worker-slot ParallelFor guarantees.
+  struct UnitScratch {
+    /// Index-column -> row position map built per fetched unit.
+    std::unordered_map<std::string, size_t> by_index;
+    /// Trapdoor plaintext assembly buffer (IndexPlainTo).
+    Bytes index_plain;
+    /// Batched-decrypt staging: ciphertext views and plaintext buffers.
+    std::vector<Slice> ct_views;
+    std::vector<Bytes> pt_bufs;
+  };
+
   /// Running aggregation state, merged across fetch units and epochs.
   struct AggState {
     uint64_t count = 0;
@@ -129,14 +150,17 @@ class QueryExecutor {
       : enclave_(enclave), table_(table), config_(config) {}
 
   /// Alg. 2 Step 3 (+ §4.3 oblivious variant): formulates trapdoors for a
-  /// unit and fetches its rows from the DBMS.
+  /// unit and fetches its rows from the DBMS. `scratch` (optional) reuses
+  /// one worker's buffers across units.
   StatusOr<FetchedUnit> Fetch(const EpochState& state, const FetchUnit& unit,
-                              bool oblivious) const;
+                              bool oblivious,
+                              UnitScratch* scratch = nullptr) const;
 
   /// Like Fetch but also returns row ids (dynamic-insertion rewrite path).
   StatusOr<FetchedUnit> FetchWithIds(const EpochState& state,
                                      const FetchUnit& unit, bool oblivious,
-                                     std::vector<uint64_t>* row_ids) const;
+                                     std::vector<uint64_t>* row_ids,
+                                     UnitScratch* scratch = nullptr) const;
 
   /// Step 4 verification: recomputes the hash chains of every *complete*
   /// cell-id in the fetched unit and compares against the epoch's tags.
@@ -152,7 +176,8 @@ class QueryExecutor {
                     const FetchedUnit& fetched, bool oblivious,
                     AggState* agg,
                     std::unordered_set<std::string>* seen_rows = nullptr,
-                    FilterCache* filter_cache = nullptr) const;
+                    FilterCache* filter_cache = nullptr,
+                    UnitScratch* scratch = nullptr) const;
 
   /// Runs the full per-unit loop (Fetch, optional Verify, FilterInto) for a
   /// plan's units, fanning the fetch+verify stage out across `pool`. Units
@@ -183,8 +208,8 @@ class QueryExecutor {
  private:
   StatusOr<std::vector<Bytes>> MakeTrapdoors(const EpochState& state,
                                              const FetchUnit& unit,
-                                             bool oblivious,
-                                             uint64_t* issued) const;
+                                             bool oblivious, uint64_t* issued,
+                                             UnitScratch* scratch) const;
 
   StatusOr<FilterSet> BuildFilterSet(const EpochState& state,
                                      const Query& query,

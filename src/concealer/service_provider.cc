@@ -189,7 +189,9 @@ Status ServiceProvider::ReencryptBin(EpochState* state, uint32_t bin_index,
   // plaintext under the new key so future trapdoors still match.
   std::vector<Row> new_rows(fetched.rows.size());
   for (size_t i = 0; i < fetched.rows.size(); ++i) {
-    const Row& old_row = fetched.rows[i];
+    // Borrowed pointer into the row store: read fully before ReindexRows
+    // below rewrites these very slots.
+    const Row& old_row = *fetched.rows[i];
     StatusOr<Bytes> index_plain =
         old_det->Decrypt(old_row.columns[kColIndex]);
     if (!index_plain.ok()) return index_plain.status();

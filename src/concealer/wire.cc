@@ -60,11 +60,16 @@ StatusOr<PlainTuple> ParseTuplePlain(Slice data) {
   return tuple;
 }
 
+void IndexPlainTo(Bytes* out, uint32_t cell_id, uint64_t counter) {
+  out->clear();
+  out->push_back('I');
+  PutFixed32(out, cell_id);
+  PutFixed64(out, counter);
+}
+
 Bytes IndexPlain(uint32_t cell_id, uint64_t counter) {
   Bytes out;
-  out.push_back('I');
-  PutFixed32(&out, cell_id);
-  PutFixed64(&out, counter);
+  IndexPlainTo(&out, cell_id, counter);
   return out;
 }
 

@@ -36,6 +36,11 @@ StatusOr<PlainTuple> ParseTuplePlain(Slice data);
 /// tuples use cid = kFakeCellId (the paper's `f ‖ j`).
 Bytes IndexPlain(uint32_t cell_id, uint64_t counter);
 
+/// Allocation-free variant: overwrites `out` (clearing first). Trapdoor
+/// generation calls this once per (cid, counter) with a reused scratch
+/// buffer instead of allocating a fresh 13-byte vector per trapdoor.
+void IndexPlainTo(Bytes* out, uint32_t cell_id, uint64_t counter);
+
 /// Serialization of the DP-shared grid layout vectors (Ecell_id, Ec_tuple).
 Bytes SerializeGridLayout(const GridLayout& layout);
 StatusOr<GridLayout> DeserializeGridLayout(Slice data);

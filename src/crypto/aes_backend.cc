@@ -1,0 +1,59 @@
+// Backend registry and runtime dispatch: probe the CPU once, honor the
+// CONCEALER_AES_BACKEND environment override, and let tests swap the active
+// backend with a scoped override.
+
+#include "crypto/aes_backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "crypto/aes_backend_internal.h"
+
+namespace concealer {
+
+namespace {
+
+// Test override; null means "use the detected default".
+std::atomic<const AesBackendOps*> g_override{nullptr};
+
+const AesBackendOps* DetectDefault() {
+  const AesBackendOps* accel = AcceleratedAesBackend();
+  const char* env = std::getenv("CONCEALER_AES_BACKEND");
+  if (env != nullptr) {
+    if (std::strcmp(env, "soft") == 0) return SoftAesBackend();
+    // "accel" / "aesni" / "armv8ce": use hardware if present, else the env
+    // request degrades to soft (bench JSON reports which one actually ran;
+    // CI fails the job when that disagrees with the runner's CPU flags).
+    if (accel != nullptr) return accel;
+    return SoftAesBackend();
+  }
+  return accel != nullptr ? accel : SoftAesBackend();
+}
+
+}  // namespace
+
+const AesBackendOps* AcceleratedAesBackend() {
+  static const AesBackendOps* accel = [] {
+    if (const AesBackendOps* ni = aes_internal::ProbeAesNiBackend()) return ni;
+    if (const AesBackendOps* ce = aes_internal::ProbeArmCeBackend()) return ce;
+    return static_cast<const AesBackendOps*>(nullptr);
+  }();
+  return accel;
+}
+
+const AesBackendOps* ActiveAesBackend() {
+  const AesBackendOps* forced = g_override.load(std::memory_order_acquire);
+  if (forced != nullptr) return forced;
+  static const AesBackendOps* detected = DetectDefault();
+  return detected;
+}
+
+ScopedAesBackendOverride::ScopedAesBackendOverride(const AesBackendOps* ops)
+    : prev_(g_override.exchange(ops, std::memory_order_acq_rel)) {}
+
+ScopedAesBackendOverride::~ScopedAesBackendOverride() {
+  g_override.store(prev_, std::memory_order_release);
+}
+
+}  // namespace concealer

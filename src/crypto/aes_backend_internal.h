@@ -1,0 +1,47 @@
+#ifndef CONCEALER_CRYPTO_AES_BACKEND_INTERNAL_H_
+#define CONCEALER_CRYPTO_AES_BACKEND_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/aes_backend.h"
+
+// Cross-backend internals: the dispatcher (aes_backend.cc) pulls the
+// per-architecture probe functions from here, and hardware backends reuse
+// the soft routines for the cold paths they don't accelerate.
+
+namespace concealer {
+namespace aes_internal {
+
+/// FIPS-197 S-box and inverse (defined in aes_soft.cc; also used by
+/// Aes::SetKey for the portable key expansion every backend shares).
+extern const uint8_t kAesSBox[256];
+extern const uint8_t kAesInvSBox[256];
+
+/// Soft primitives (aes_soft.cc), reusable by other backends.
+void SoftEncryptBlocks(const uint8_t* rk, int rounds, const uint8_t* in,
+                       uint8_t* out, size_t nblocks);
+void SoftDecryptBlocks(const uint8_t* rk, int rounds, const uint8_t* in,
+                       uint8_t* out, size_t nblocks);
+
+/// Increments a 16-byte big-endian counter block in place (wraps at
+/// 2^128). Shared by every backend so the counter sequence — including the
+/// overflow boundary — is identical bit-for-bit.
+inline void IncrementCounter(uint8_t counter[16]) {
+  for (int i = 15; i >= 0; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+/// Returns the AES-NI backend if this build targets x86-64 and the CPU
+/// reports AES support, else null (aes_ni.cc; stub on other arches).
+const AesBackendOps* ProbeAesNiBackend();
+
+/// Returns the ARMv8-CE backend if this build targets aarch64 and HWCAP
+/// reports AES support, else null (aes_arm.cc; stub on other arches).
+const AesBackendOps* ProbeArmCeBackend();
+
+}  // namespace aes_internal
+}  // namespace concealer
+
+#endif  // CONCEALER_CRYPTO_AES_BACKEND_INTERNAL_H_

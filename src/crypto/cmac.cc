@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/hmac.h"
+
 namespace concealer {
 
 namespace {
@@ -16,7 +18,11 @@ void GfDouble(const uint8_t in[16], uint8_t out[16]) {
 }  // namespace
 
 Status AesCmac::SetKey(Slice key) {
-  CONCEALER_RETURN_IF_ERROR(aes_.SetKey(key));
+  return SetKey(key, ActiveAesBackend());
+}
+
+Status AesCmac::SetKey(Slice key, const AesBackendOps* ops) {
+  CONCEALER_RETURN_IF_ERROR(aes_.SetKey(key, ops));
   uint8_t zero[16] = {};
   uint8_t l[16];
   aes_.EncryptBlock(zero, l);
@@ -42,7 +48,9 @@ AesCmac::Tag AesCmac::Compute(Slice data) const {
       last[i] = static_cast<uint8_t>(data[16 * full_blocks + i] ^ k1_[i]);
     }
   } else {
-    std::memcpy(last, data.data() + 16 * full_blocks, rem);
+    // rem == 0 only for the empty message, whose data() may be null —
+    // skip the copy rather than hand memcpy a null source.
+    if (rem > 0) std::memcpy(last, data.data() + 16 * full_blocks, rem);
     last[rem] = 0x80;
     for (int i = 0; i < 16; ++i) last[i] ^= k2_[i];
   }
@@ -50,6 +58,92 @@ AesCmac::Tag AesCmac::Compute(Slice data) const {
   Tag tag;
   aes_.EncryptBlock(x, tag.data());
   return tag;
+}
+
+void AesCmac::ComputeBatch(const Slice* datas, size_t n, Tag* tags) const {
+  for (size_t base = 0; base < n; base += kBatchLanes) {
+    const size_t lanes = n - base < kBatchLanes ? n - base : kBatchLanes;
+
+    // Per-lane CBC state and full-block counts (RFC 4493: the final block,
+    // full or partial, is always handled after the chain).
+    uint8_t x[kBatchLanes][16] = {};
+    size_t full[kBatchLanes];
+    size_t max_full = 0;
+    for (size_t l = 0; l < lanes; ++l) {
+      const size_t len = datas[base + l].size();
+      full[l] = len == 0 ? 0 : (len - 1) / 16;
+      if (full[l] > max_full) max_full = full[l];
+    }
+
+    // Lockstep chain steps: gather one block from every still-active lane,
+    // one multi-block AES call, scatter the states back. Lanes whose chain
+    // is exhausted simply drop out of the gather.
+    uint8_t buf[kBatchLanes * 16];
+    size_t lane_of[kBatchLanes];
+    for (size_t step = 0; step < max_full; ++step) {
+      size_t active = 0;
+      for (size_t l = 0; l < lanes; ++l) {
+        if (step >= full[l]) continue;
+        const uint8_t* block = datas[base + l].data() + 16 * step;
+        uint8_t* slot = buf + 16 * active;
+        for (int i = 0; i < 16; ++i) {
+          slot[i] = static_cast<uint8_t>(x[l][i] ^ block[i]);
+        }
+        lane_of[active++] = l;
+      }
+      aes_.EncryptBlocks(buf, buf, active);
+      for (size_t a = 0; a < active; ++a) {
+        std::memcpy(x[lane_of[a]], buf + 16 * a, 16);
+      }
+    }
+
+    // Final blocks of all lanes in one batched call.
+    for (size_t l = 0; l < lanes; ++l) {
+      const Slice data = datas[base + l];
+      uint8_t last[16] = {};
+      const size_t rem = data.size() - full[l] * 16;
+      if (data.size() > 0 && rem == 16) {
+        for (int i = 0; i < 16; ++i) {
+          last[i] = static_cast<uint8_t>(data[16 * full[l] + i] ^ k1_[i]);
+        }
+      } else {
+        // See Compute: empty-message data() may be null.
+        if (rem > 0) std::memcpy(last, data.data() + 16 * full[l], rem);
+        last[rem] = 0x80;
+        for (int i = 0; i < 16; ++i) last[i] ^= k2_[i];
+      }
+      uint8_t* slot = buf + 16 * l;
+      for (int i = 0; i < 16; ++i) {
+        slot[i] = static_cast<uint8_t>(x[l][i] ^ last[i]);
+      }
+    }
+    aes_.EncryptBlocks(buf, buf, lanes);
+    for (size_t l = 0; l < lanes; ++l) {
+      std::memcpy(tags[base + l].data(), buf + 16 * l, 16);
+    }
+  }
+}
+
+bool AesCmac::Verify(Slice data, Slice tag) const {
+  const Tag computed = Compute(data);
+  return ConstantTimeEqual(Slice(computed.data(), computed.size()), tag);
+}
+
+size_t AesCmac::VerifyBatch(const Slice* datas, const Slice* tags, size_t n,
+                            uint8_t* ok) const {
+  Tag computed[kBatchLanes];
+  size_t valid = 0;
+  for (size_t base = 0; base < n; base += kBatchLanes) {
+    const size_t lanes = n - base < kBatchLanes ? n - base : kBatchLanes;
+    ComputeBatch(datas + base, lanes, computed);
+    for (size_t l = 0; l < lanes; ++l) {
+      const bool eq = ConstantTimeEqual(
+          Slice(computed[l].data(), computed[l].size()), tags[base + l]);
+      ok[base + l] = eq ? 1 : 0;
+      valid += eq ? 1 : 0;
+    }
+  }
+  return valid;
 }
 
 }  // namespace concealer

@@ -17,11 +17,34 @@ class AesCmac {
  public:
   using Tag = std::array<uint8_t, Aes::kBlockSize>;
 
+  /// Lanes the batched entry points keep in flight per AES call — sized to
+  /// the hardware backends' block pipeline.
+  static constexpr size_t kBatchLanes = 8;
+
   /// `key.size()` must be 16 or 32.
   Status SetKey(Slice key);
 
+  /// Like SetKey but pins an explicit AES backend (tests/bench).
+  Status SetKey(Slice key, const AesBackendOps* ops);
+
   /// Computes CMAC(key, data).
   Tag Compute(Slice data) const;
+
+  /// Computes CMAC over `n` independent messages, kBatchLanes at a time in
+  /// lockstep: each CBC-MAC chain is sequential in itself, but the chains
+  /// are independent, so each AES call carries one block from every active
+  /// lane through the backend's multi-block pipeline. Tags are identical to
+  /// n calls of Compute.
+  void ComputeBatch(const Slice* datas, size_t n, Tag* tags) const;
+
+  /// Constant-time tag check; `tag.size()` must be kBlockSize.
+  bool Verify(Slice data, Slice tag) const;
+
+  /// Batched verification: ok[i] = 1 iff CMAC(datas[i]) == tags[i]
+  /// (constant-time compares over ComputeBatch). Returns the number of
+  /// valid tags.
+  size_t VerifyBatch(const Slice* datas, const Slice* tags, size_t n,
+                     uint8_t* ok) const;
 
  private:
   Aes aes_;

@@ -2,19 +2,22 @@
 
 #include <cstring>
 
-#include "crypto/hmac.h"
 #include "crypto/kdf.h"
 
 namespace concealer {
 
 Status DetCipher::SetKey(Slice key) {
+  return SetKey(key, ActiveAesBackend());
+}
+
+Status DetCipher::SetKey(Slice key, const AesBackendOps* ops) {
   if (key.size() != 32) {
     return Status::InvalidArgument("DetCipher key must be 32 bytes");
   }
   const Bytes mac_key = DeriveKey(key, "det.mac", Slice());
   const Bytes enc_key = DeriveKey(key, "det.enc", Slice());
-  CONCEALER_RETURN_IF_ERROR(cmac_.SetKey(mac_key));
-  CONCEALER_RETURN_IF_ERROR(ctr_aes_.SetKey(enc_key));
+  CONCEALER_RETURN_IF_ERROR(cmac_.SetKey(mac_key, ops));
+  CONCEALER_RETURN_IF_ERROR(ctr_aes_.SetKey(enc_key, ops));
   initialized_ = true;
   return Status::OK();
 }
@@ -23,8 +26,26 @@ Bytes DetCipher::Encrypt(Slice plaintext) const {
   const AesCmac::Tag iv = cmac_.Compute(plaintext);
   Bytes out(Aes::kBlockSize + plaintext.size());
   std::memcpy(out.data(), iv.data(), Aes::kBlockSize);
-  AesCtrXor(ctr_aes_, iv.data(), plaintext, out.data() + Aes::kBlockSize);
+  AesCtr::Xor(ctr_aes_, iv.data(), plaintext, out.data() + Aes::kBlockSize);
   return out;
+}
+
+void DetCipher::EncryptBatch(const Slice* plains, size_t n,
+                             Bytes* outs) const {
+  AesCmac::Tag ivs[AesCmac::kBatchLanes];
+  for (size_t base = 0; base < n; base += AesCmac::kBatchLanes) {
+    const size_t lanes =
+        n - base < AesCmac::kBatchLanes ? n - base : AesCmac::kBatchLanes;
+    cmac_.ComputeBatch(plains + base, lanes, ivs);
+    for (size_t l = 0; l < lanes; ++l) {
+      const Slice plaintext = plains[base + l];
+      Bytes& out = outs[base + l];
+      out.resize(Aes::kBlockSize + plaintext.size());
+      std::memcpy(out.data(), ivs[l].data(), Aes::kBlockSize);
+      AesCtr::Xor(ctr_aes_, ivs[l].data(), plaintext,
+                  out.data() + Aes::kBlockSize);
+    }
+  }
 }
 
 StatusOr<Bytes> DetCipher::Decrypt(Slice ciphertext) const {
@@ -35,13 +56,50 @@ StatusOr<Bytes> DetCipher::Decrypt(Slice ciphertext) const {
   const Slice body(ciphertext.data() + Aes::kBlockSize,
                    ciphertext.size() - Aes::kBlockSize);
   Bytes plaintext(body.size());
-  AesCtrXor(ctr_aes_, iv, body, plaintext.data());
-  const AesCmac::Tag expected = cmac_.Compute(plaintext);
-  if (!ConstantTimeEqual(Slice(expected.data(), expected.size()),
-                         Slice(iv, Aes::kBlockSize))) {
+  AesCtr::Xor(ctr_aes_, iv, body, plaintext.data());
+  if (!cmac_.Verify(plaintext, Slice(iv, Aes::kBlockSize))) {
     return Status::Corruption("DET ciphertext failed authentication");
   }
   return plaintext;
+}
+
+Status DetCipher::DecryptBatch(const Slice* cts, size_t n, Bytes* outs) const {
+  // Serial-equivalent semantics: a too-short ciphertext at index i fails
+  // exactly after indices [0, i) authenticated, so first truncate the batch
+  // at the first malformed entry, then run the batched auth over the prefix.
+  size_t limit = n;
+  Status deferred = Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    if (cts[i].size() < Aes::kBlockSize) {
+      limit = i;
+      deferred = Status::Corruption("DET ciphertext shorter than SIV");
+      break;
+    }
+  }
+  Slice plains[AesCmac::kBatchLanes];
+  Slice ivs[AesCmac::kBatchLanes];
+  uint8_t ok[AesCmac::kBatchLanes];
+  for (size_t base = 0; base < limit; base += AesCmac::kBatchLanes) {
+    const size_t lanes = limit - base < AesCmac::kBatchLanes
+                             ? limit - base
+                             : AesCmac::kBatchLanes;
+    for (size_t l = 0; l < lanes; ++l) {
+      const Slice ct = cts[base + l];
+      Bytes& out = outs[base + l];
+      out.resize(ct.size() - Aes::kBlockSize);
+      AesCtr::Xor(ctr_aes_, ct.data(),
+                  Slice(ct.data() + Aes::kBlockSize, out.size()), out.data());
+      plains[l] = Slice(out);
+      ivs[l] = Slice(ct.data(), Aes::kBlockSize);
+    }
+    // Authenticate the chunk through the batched verifier; the first
+    // failing index (in order) carries the same status a serial loop
+    // would have returned there.
+    if (cmac_.VerifyBatch(plains, ivs, lanes, ok) != lanes) {
+      return Status::Corruption("DET ciphertext failed authentication");
+    }
+  }
+  return deferred;
 }
 
 }  // namespace concealer

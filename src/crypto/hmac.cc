@@ -34,6 +34,12 @@ Sha256::Digest HmacSha256::Compute(Slice key, Slice data) {
   return mac.Finish();
 }
 
+bool HmacSha256::Verify(Slice key, Slice data, Slice tag) {
+  if (tag.empty() || tag.size() > kTagSize) return false;
+  const Sha256::Digest computed = Compute(key, data);
+  return ConstantTimeEqual(Slice(computed.data(), tag.size()), tag);
+}
+
 bool ConstantTimeEqual(Slice a, Slice b) {
   if (a.size() != b.size()) return false;
   uint8_t acc = 0;

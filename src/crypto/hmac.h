@@ -15,6 +15,12 @@ class HmacSha256 {
   /// Computes HMAC-SHA256(key, data).
   static Sha256::Digest Compute(Slice key, Slice data);
 
+  /// Computes HMAC-SHA256(key, data) and constant-time-compares its first
+  /// `tag.size()` bytes against `tag` (truncated-tag verification, as the
+  /// randomized cipher's 16-byte encrypt-then-MAC tag uses). `tag.size()`
+  /// must be in (0, kTagSize].
+  static bool Verify(Slice key, Slice data, Slice tag);
+
   /// Streaming interface.
   explicit HmacSha256(Slice key);
   void Update(Slice data) { inner_.Update(data); }

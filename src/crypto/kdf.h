@@ -14,7 +14,10 @@ namespace concealer {
 /// (forward privacy, §7). Re-encryption keys during dynamic insertion add a
 /// per-round counter to the context (paper §6, footnote 7).
 ///
-/// All derived keys are 32 bytes (AES-256 / HMAC key size).
+/// All derived keys are 32 bytes (AES-256 / HMAC key size). Derivation is
+/// HMAC-SHA256, deliberately independent of the AES backend dispatch
+/// (aes_backend.h): every backend keys its ciphers with identical bytes, so
+/// backend choice can never change a ciphertext or trapdoor.
 Bytes DeriveKey(Slice master, const std::string& label, Slice context);
 
 /// Convenience: context is a 64-bit integer (epoch-id, counter...).

@@ -38,7 +38,7 @@ void RandCipher::NextNonce(uint8_t out[kNonceSize]) {
 Bytes RandCipher::Encrypt(Slice plaintext) {
   Bytes out(kNonceSize + plaintext.size() + kTagSize);
   NextNonce(out.data());
-  AesCtrXor(enc_aes_, out.data(), plaintext, out.data() + kNonceSize);
+  AesCtr::Xor(enc_aes_, out.data(), plaintext, out.data() + kNonceSize);
   const Sha256::Digest tag = HmacSha256::Compute(
       mac_key_, Slice(out.data(), kNonceSize + plaintext.size()));
   std::memcpy(out.data() + kNonceSize + plaintext.size(), tag.data(),
@@ -51,26 +51,27 @@ StatusOr<Bytes> RandCipher::Decrypt(Slice ciphertext) const {
     return Status::Corruption("randomized ciphertext too short");
   }
   const size_t body_len = ciphertext.size() - kOverhead;
-  const Sha256::Digest tag = HmacSha256::Compute(
-      mac_key_, Slice(ciphertext.data(), kNonceSize + body_len));
-  if (!ConstantTimeEqual(Slice(tag.data(), kTagSize),
-                         Slice(ciphertext.data() + kNonceSize + body_len,
-                               kTagSize))) {
+  if (!HmacSha256::Verify(mac_key_,
+                          Slice(ciphertext.data(), kNonceSize + body_len),
+                          Slice(ciphertext.data() + kNonceSize + body_len,
+                                kTagSize))) {
     return Status::Corruption("randomized ciphertext failed authentication");
   }
   Bytes plaintext(body_len);
-  AesCtrXor(enc_aes_, ciphertext.data(),
-            Slice(ciphertext.data() + kNonceSize, body_len),
-            plaintext.data());
+  AesCtr::Xor(enc_aes_, ciphertext.data(),
+              Slice(ciphertext.data() + kNonceSize, body_len),
+              plaintext.data());
   return plaintext;
 }
 
 Bytes RandCipher::RandomBytes(size_t n) {
+  // One-shot keystream: XOR-with-zeros is the keystream itself, so emit it
+  // directly instead of materializing a zeros buffer (this runs once per
+  // fake-tuple column, the bulk of Algorithm 1's stage 2 output).
   Bytes out(n);
   uint8_t nonce[kNonceSize];
   NextNonce(nonce);
-  const Bytes zeros(n, 0);
-  AesCtrXor(enc_aes_, nonce, zeros, out.data());
+  AesCtr::Keystream(enc_aes_, nonce, out.data(), n);
   return out;
 }
 

@@ -29,42 +29,46 @@ Status EncryptedTable::InsertBatch(std::vector<Row> rows) {
   return Status::OK();
 }
 
-std::vector<Row> EncryptedTable::FetchByIndexKeys(
-    const std::vector<Bytes>& keys) const {
+void EncryptedTable::FetchRefs(const std::vector<Bytes>& keys,
+                               std::vector<RowRef>* out) const {
   // Counters are accumulated locally and folded in under the lock once per
   // batch: fetches run concurrently in the parallel query path, and the
   // B+-tree itself is read-only here.
-  std::vector<Row> out;
-  out.reserve(keys.size());
+  out->reserve(out->size() + keys.size());
   uint64_t hits = 0;
+  uint64_t bytes = 0;
   for (const Bytes& key : keys) {
     StatusOr<uint64_t> row_id = index_.Get(key);
     if (!row_id.ok()) continue;
     ++hits;
-    out.push_back(*store_.GetRef(*row_id));
+    const Row* row = store_.GetRef(*row_id);
+    for (const Bytes& col : row->columns) bytes += col.size();
+    out->push_back(RowRef{*row_id, row});
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.index_probes += keys.size();
   stats_.index_hits += hits;
   stats_.rows_fetched += hits;
+  stats_.bytes_fetched += bytes;
+}
+
+std::vector<Row> EncryptedTable::FetchByIndexKeys(
+    const std::vector<Bytes>& keys) const {
+  std::vector<RowRef> refs;
+  FetchRefs(keys, &refs);
+  std::vector<Row> out;
+  out.reserve(refs.size());
+  for (const RowRef& ref : refs) out.push_back(*ref.row);
   return out;
 }
 
 std::vector<std::pair<uint64_t, Row>> EncryptedTable::FetchWithIds(
     const std::vector<Bytes>& keys) const {
+  std::vector<RowRef> refs;
+  FetchRefs(keys, &refs);
   std::vector<std::pair<uint64_t, Row>> out;
-  out.reserve(keys.size());
-  uint64_t hits = 0;
-  for (const Bytes& key : keys) {
-    StatusOr<uint64_t> row_id = index_.Get(key);
-    if (!row_id.ok()) continue;
-    ++hits;
-    out.emplace_back(*row_id, *store_.GetRef(*row_id));
-  }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.index_probes += keys.size();
-  stats_.index_hits += hits;
-  stats_.rows_fetched += hits;
+  out.reserve(refs.size());
+  for (const RowRef& ref : refs) out.emplace_back(ref.row_id, *ref.row);
   return out;
 }
 

@@ -22,8 +22,18 @@ struct TableStats {
   uint64_t index_probes = 0;    // Trapdoor lookups issued.
   uint64_t index_hits = 0;      // Probes that matched a row.
   uint64_t rows_fetched = 0;    // Rows returned to the enclave.
+  uint64_t bytes_fetched = 0;   // Ciphertext bytes across fetched rows.
   uint64_t rows_scanned = 0;    // Rows touched by full scans (Opaque path).
   uint64_t rows_inserted = 0;
+};
+
+/// A fetched row borrowed from the table's row store: the id plus a
+/// non-owning pointer. Valid until the next Insert/InsertBatch (the store
+/// may reallocate) or Replace/Reindex of that id; the query path reads
+/// under the epoch-level shared lock, where neither happens.
+struct RowRef {
+  uint64_t row_id = 0;
+  const Row* row = nullptr;
 };
 
 /// The untrusted DBMS at the service provider: an append-only row heap plus
@@ -46,10 +56,18 @@ class EncryptedTable {
   /// DBMS that creates/modifies the index").
   Status InsertBatch(std::vector<Row> rows);
 
-  /// Fetches the rows matching a batch of exact index keys (the enclave's
-  /// trapdoors). Missing keys are skipped silently — a fake-tuple trapdoor
-  /// beyond the stored range simply matches nothing, and reporting which
-  /// trapdoors missed would be a leak the enclave does not rely on.
+  /// Zero-copy fetch: appends a RowRef for every matched index key to
+  /// `out` (the enclave's trapdoors; missing keys are skipped silently — a
+  /// fake-tuple trapdoor beyond the stored range simply matches nothing,
+  /// and reporting which trapdoors missed would be a leak the enclave does
+  /// not rely on). This is the query path's primitive: one capacity
+  /// reservation, no row copies — the decrypt/verify loop reads the stored
+  /// ciphertext bytes in place. See RowRef for the borrow rules.
+  void FetchRefs(const std::vector<Bytes>& keys,
+                 std::vector<RowRef>* out) const;
+
+  /// Copying fetch for callers that need owned rows. Built on FetchRefs
+  /// (one copy per row, straight from the store).
   std::vector<Row> FetchByIndexKeys(const std::vector<Bytes>& keys) const;
 
   /// Like FetchByIndexKeys but also returns the matched row ids (needed by

@@ -240,5 +240,43 @@ TEST(ThreadPoolTest, ParallelForRunsBackToBack) {
   EXPECT_EQ(sum.load(), 20u * (64u * 63u / 2));
 }
 
+TEST(ThreadPoolTest, WorkerSlotsAreInRangeAndExclusive) {
+  // The worker-slot overload's contract: slots in [0, num_threads()), and
+  // at most one live thread per slot — so per-slot scratch needs no locks.
+  // Exclusivity is asserted with an atomic "occupied" flag per slot that
+  // every fn invocation sets and clears around a small critical section.
+  for (size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    const size_t slots = pool.num_threads();
+    std::vector<std::atomic<int>> occupied(slots);
+    std::vector<std::atomic<int>> uses(slots);
+    std::atomic<bool> violation{false};
+    pool.ParallelFor(200, [&](size_t, size_t worker) {
+      if (worker >= slots) {
+        violation.store(true);
+        return;
+      }
+      if (occupied[worker].fetch_add(1) != 0) violation.store(true);
+      uses[worker].fetch_add(1);
+      occupied[worker].fetch_sub(1);
+    });
+    EXPECT_FALSE(violation.load()) << threads;
+    size_t total = 0;
+    for (size_t s = 0; s < slots; ++s) total += uses[s].load();
+    EXPECT_EQ(total, 200u) << threads;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForKeepsEnclosingWorkerSlot) {
+  ThreadPool pool(4);
+  std::atomic<bool> mismatch{false};
+  pool.ParallelFor(16, [&](size_t, size_t outer_slot) {
+    pool.ParallelFor(4, [&](size_t, size_t inner_slot) {
+      if (inner_slot != outer_slot) mismatch.store(true);
+    });
+  });
+  EXPECT_FALSE(mismatch.load());
+}
+
 }  // namespace
 }  // namespace concealer

@@ -15,8 +15,10 @@
 #include "common/random.h"
 #include "concealer/client.h"
 #include "concealer/data_provider.h"
+#include "concealer/epoch_io.h"
 #include "concealer/service_provider.h"
 #include "concealer/wire.h"
+#include "crypto/aes_backend.h"
 #include "workload/wifi_generator.h"
 
 namespace concealer {
@@ -666,6 +668,72 @@ TEST_F(ConcealerE2ETest, ParallelExecutionIsDeterministic) {
     EXPECT_EQ(SerializeQueryResult(*first), SerializeQueryResult(*again));
   }
   sp_->set_num_threads(1);
+}
+
+// --- Crypto backend equivalence (the tentpole's correctness contract) ---
+//
+// Runs the full DP -> SP -> query pipeline once under the forced software
+// AES backend and once under the hardware backend, and byte-compares the
+// serialized epochs (ciphertexts + trapdoor-matchable Index columns) and
+// every query answer. This is what "hardware acceleration changes timing,
+// never bytes" means operationally.
+TEST(CryptoBackendEquivalenceTest, PipelineBytesIdenticalAcrossBackends) {
+  if (AcceleratedAesBackend() == nullptr) {
+    GTEST_SKIP() << "no hardware AES on this CPU";
+  }
+  ConcealerConfig config = TestConfig();
+  WifiConfig wifi = TestWorkload();
+  wifi.total_rows = 1200;  // Smaller than the shared fixture: runs twice.
+  WifiGenerator gen(wifi);
+  const std::vector<PlainTuple> tuples = gen.Generate();
+
+  struct PipelineBytes {
+    std::vector<Bytes> epoch_blobs;
+    std::vector<Bytes> answers;
+  };
+  auto run = [&](const AesBackendOps* backend) {
+    ScopedAesBackendOverride forced(backend);
+    PipelineBytes out;
+    DataProvider dp(config, Bytes(32, 0x42));
+    ServiceProvider sp(config, dp.shared_secret());
+    auto epochs = dp.EncryptAll(tuples);
+    EXPECT_TRUE(epochs.ok());
+    for (const auto& epoch : *epochs) {
+      out.epoch_blobs.push_back(SerializeEpoch(epoch));
+      EXPECT_TRUE(sp.IngestEpoch(epoch).ok());
+    }
+    std::vector<Query> queries;
+    queries.push_back(PointQuery(7, 7200));
+    queries.push_back(
+        RangeQuery(3, 3600, 8 * 3600, RangeMethod::kWinSecRange));
+    Query sum = PointQuery(7, 7200);
+    sum.agg = Aggregate::kSum;  // Exercises the batched Er decrypt path.
+    sum.time_lo = 0;
+    sum.time_hi = 86399;
+    queries.push_back(sum);
+    Query obl = PointQuery(5, 3600);
+    obl.oblivious = true;
+    obl.verify = true;
+    queries.push_back(obl);
+    for (const Query& q : queries) {
+      auto r = sp.Execute(q);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      out.answers.push_back(SerializeQueryResult(*r));
+    }
+    return out;
+  };
+
+  const PipelineBytes soft = run(SoftAesBackend());
+  const PipelineBytes accel = run(AcceleratedAesBackend());
+  ASSERT_EQ(soft.epoch_blobs.size(), accel.epoch_blobs.size());
+  for (size_t i = 0; i < soft.epoch_blobs.size(); ++i) {
+    EXPECT_EQ(soft.epoch_blobs[i], accel.epoch_blobs[i])
+        << "epoch " << i << " ciphertext bytes differ across backends";
+  }
+  ASSERT_EQ(soft.answers.size(), accel.answers.size());
+  for (size_t i = 0; i < soft.answers.size(); ++i) {
+    EXPECT_EQ(soft.answers[i], accel.answers[i]) << "query " << i;
+  }
 }
 
 }  // namespace

@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "common/hex.h"
+#include "common/random.h"
 #include "crypto/aes.h"
+#include "crypto/aes_backend.h"
 #include "crypto/cmac.h"
 #include "crypto/det_cipher.h"
 #include "crypto/grid_hash.h"
@@ -342,6 +345,358 @@ TEST(GridHashTest, RoughlyUniform) {
     EXPECT_GT(c, 700);
     EXPECT_LT(c, 1300);
   }
+}
+
+// --- AES backends: known-answer + differential coverage ---
+//
+// Every KAT below runs against each available backend (soft always; the
+// hardware backend when the CPU has one), pinning the backend explicitly so
+// CI on an AES-NI runner exercises both implementations in one pass.
+
+std::vector<const AesBackendOps*> AllBackends() {
+  std::vector<const AesBackendOps*> v = {SoftAesBackend()};
+  if (AcceleratedAesBackend() != nullptr) v.push_back(AcceleratedAesBackend());
+  return v;
+}
+
+class AesBackendTest
+    : public ::testing::TestWithParam<const AesBackendOps*> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, AesBackendTest, ::testing::ValuesIn(AllBackends()),
+    [](const ::testing::TestParamInfo<const AesBackendOps*>& info) {
+      return std::string(info.param->name);
+    });
+
+TEST_P(AesBackendTest, Fips197EcbKats) {
+  Aes aes;
+  ASSERT_TRUE(
+      aes.SetKey(FromHex("000102030405060708090a0b0c0d0e0f"), GetParam())
+          .ok());
+  const Bytes pt = FromHex("00112233445566778899aabbccddeeff");
+  uint8_t ct[16], back[16];
+  aes.EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(HexEncode(Slice(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  aes.DecryptBlock(ct, back);
+  EXPECT_EQ(HexEncode(Slice(back, 16)), HexEncode(pt));
+
+  ASSERT_TRUE(aes.SetKey(FromHex("000102030405060708090a0b0c0d0e0f"
+                                 "101112131415161718191a1b1c1d1e1f"),
+                         GetParam())
+                  .ok());
+  aes.EncryptBlock(pt.data(), ct);
+  EXPECT_EQ(HexEncode(Slice(ct, 16)), "8ea2b7ca516745bfeafc49904b496089");
+  aes.DecryptBlock(ct, back);
+  EXPECT_EQ(HexEncode(Slice(back, 16)), HexEncode(pt));
+}
+
+TEST_P(AesBackendTest, NistSp80038aCtrAes128FullVector) {
+  // NIST SP 800-38A F.5.1: AES-128 CTR, all four blocks in one call so the
+  // multi-block pipeline is on the hook for the counter sequence.
+  Aes aes;
+  ASSERT_TRUE(
+      aes.SetKey(FromHex("2b7e151628aed2a6abf7158809cf4f3c"), GetParam())
+          .ok());
+  const Bytes iv = FromHex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes pt = FromHex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  Bytes ct(pt.size());
+  AesCtr::Xor(aes, iv.data(), pt, ct.data());
+  EXPECT_EQ(HexEncode(ct),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST_P(AesBackendTest, NistSp80038aCtrAes256FullVector) {
+  // NIST SP 800-38A F.5.5: AES-256 CTR, all four blocks.
+  Aes aes;
+  ASSERT_TRUE(aes.SetKey(FromHex("603deb1015ca71be2b73aef0857d7781"
+                                 "1f352c073b6108d72d9810a30914dff4"),
+                         GetParam())
+                  .ok());
+  const Bytes iv = FromHex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes pt = FromHex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  Bytes ct(pt.size());
+  AesCtr::Xor(aes, iv.data(), pt, ct.data());
+  EXPECT_EQ(HexEncode(ct),
+            "601ec313775789a5b7a7f504bbf3d228"
+            "f443e3ca4d62b59aca84e990cacaf5c5"
+            "2b0930daa23de94ce87017ba2d84988d"
+            "dfc9c58db67aada613c2dd08457941a6");
+}
+
+TEST_P(AesBackendTest, Rfc4493CmacAllFourCases) {
+  AesCmac cmac;
+  ASSERT_TRUE(
+      cmac.SetKey(FromHex("2b7e151628aed2a6abf7158809cf4f3c"), GetParam())
+          .ok());
+  const Bytes msg = FromHex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const struct {
+    size_t len;
+    const char* tag;
+  } kCases[] = {
+      {0, "bb1d6929e95937287fa37d129b756746"},
+      {16, "070a16b46b4d4144f79bdd9dd04a287c"},
+      {40, "dfa66747de9ae63030ca32611497c827"},
+      {64, "51f0bebf7e3b9d92fc49741779363cfe"},
+  };
+  for (const auto& c : kCases) {
+    const auto tag = cmac.Compute(Slice(msg.data(), c.len));
+    EXPECT_EQ(HexEncode(Slice(tag.data(), 16)), c.tag) << c.len;
+    EXPECT_TRUE(cmac.Verify(Slice(msg.data(), c.len), FromHex(c.tag)));
+  }
+}
+
+TEST_P(AesBackendTest, EncryptBlocksMatchesPerBlockLoop) {
+  Aes aes;
+  ASSERT_TRUE(aes.SetKey(Bytes(32, 0x7e), GetParam()).ok());
+  Rng rng(11);
+  for (size_t nblocks : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 17u}) {
+    Bytes in(nblocks * 16);
+    for (auto& b : in) b = uint8_t(rng.Next());
+    Bytes batch(in.size()), single(in.size());
+    aes.EncryptBlocks(in.data(), batch.data(), nblocks);
+    for (size_t b = 0; b < nblocks; ++b) {
+      aes.EncryptBlock(in.data() + 16 * b, single.data() + 16 * b);
+    }
+    EXPECT_EQ(batch, single) << nblocks;
+    // In-place batch.
+    Bytes inplace = in;
+    aes.EncryptBlocks(inplace.data(), inplace.data(), nblocks);
+    EXPECT_EQ(inplace, batch) << nblocks;
+  }
+}
+
+TEST_P(AesBackendTest, KeystreamAndInPlaceAgreeWithXor) {
+  Aes aes;
+  ASSERT_TRUE(aes.SetKey(Bytes(16, 0x31), GetParam()).ok());
+  uint8_t iv[16] = {0xde, 0xad};
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 63u, 64u, 65u, 127u, 128u, 300u}) {
+    Bytes pt(len, 0x5a);
+    Bytes ct(len);
+    AesCtr::Xor(aes, iv, pt, ct.data());
+    // Keystream == Xor over zeros.
+    Bytes zeros(len, 0);
+    Bytes ks_ref(len);
+    AesCtr::Xor(aes, iv, zeros, ks_ref.data());
+    Bytes ks(len);
+    AesCtr::Keystream(aes, iv, ks.data(), len);
+    EXPECT_EQ(ks, ks_ref) << len;
+    // XorInPlace == Xor.
+    Bytes buf = pt;
+    AesCtr::XorInPlace(aes, iv, buf.data(), len);
+    EXPECT_EQ(buf, ct) << len;
+  }
+}
+
+TEST_P(AesBackendTest, CtrCounterOverflowBoundaries) {
+  // The 128-bit big-endian counter must wrap identically on every backend,
+  // including across the multi-block pipeline's internal batching. Start
+  // IVs straddle the 2^128, 2^64 and one-byte carry boundaries.
+  Aes aes;
+  ASSERT_TRUE(aes.SetKey(Bytes(32, 0x09), GetParam()).ok());
+  const char* kIvs[] = {
+      "ffffffffffffffffffffffffffffffff",  // Wraps to zero after 1 block.
+      "fffffffffffffffffffffffffffffff0",  // Wraps mid-buffer.
+      "0000000000000000ffffffffffffffff",  // Low-qword carry into high.
+      "00000000000000000000000000000000",
+      "000000000000000000000000000000ff",
+  };
+  for (const char* ivh : kIvs) {
+    const Bytes iv = FromHex(ivh);
+    const size_t len = 16 * 20 + 5;  // Past any pipeline batch width.
+    Bytes pt(len, 0xc3);
+    Bytes got(len);
+    AesCtr::Xor(aes, iv.data(), pt, got.data());
+    // Reference: one block at a time through EncryptBlock with a scalar
+    // big-endian increment.
+    Bytes want(len);
+    uint8_t ctr[16], ks[16];
+    std::memcpy(ctr, iv.data(), 16);
+    for (size_t off = 0; off < len; off += 16) {
+      aes.EncryptBlock(ctr, ks);
+      for (int i = 15; i >= 0; --i) {
+        if (++ctr[i] != 0) break;
+      }
+      const size_t n = len - off < 16 ? len - off : 16;
+      for (size_t i = 0; i < n; ++i) want[off + i] = pt[off + i] ^ ks[i];
+    }
+    EXPECT_EQ(got, want) << ivh;
+  }
+}
+
+TEST(AesBackendDifferentialTest, SoftAndAcceleratedAgreeOnRandomInputs) {
+  const AesBackendOps* accel = AcceleratedAesBackend();
+  if (accel == nullptr) {
+    GTEST_SKIP() << "no hardware AES on this CPU";
+  }
+  Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes key((trial % 2) ? 16 : 32);
+    for (auto& b : key) b = uint8_t(rng.Next());
+    Aes soft_aes, accel_aes;
+    ASSERT_TRUE(soft_aes.SetKey(key, SoftAesBackend()).ok());
+    ASSERT_TRUE(accel_aes.SetKey(key, accel).ok());
+
+    // Odd lengths on purpose: partial final blocks are where byte-level
+    // tail handling diverges first.
+    const size_t len = rng.Uniform(2 * 16 * 8 + 3);
+    Bytes pt(len);
+    for (auto& b : pt) b = uint8_t(rng.Next());
+    uint8_t iv[16];
+    for (auto& b : iv) b = uint8_t(rng.Next());
+    if (trial % 5 == 0) {
+      // Park the counter just below an overflow boundary.
+      std::memset(iv, 0xff, sizeof(iv));
+      iv[15] = static_cast<uint8_t>(0xff - rng.Uniform(4));
+    }
+
+    Bytes ct_soft(len), ct_accel(len);
+    AesCtr::Xor(soft_aes, iv, pt, ct_soft.data());
+    AesCtr::Xor(accel_aes, iv, pt, ct_accel.data());
+    ASSERT_EQ(ct_soft, ct_accel) << "trial " << trial << " len " << len;
+
+    uint8_t blk_soft[16], blk_accel[16];
+    soft_aes.EncryptBlock(iv, blk_soft);
+    accel_aes.EncryptBlock(iv, blk_accel);
+    ASSERT_EQ(0, memcmp(blk_soft, blk_accel, 16));
+    soft_aes.DecryptBlock(blk_soft, blk_soft);
+    accel_aes.DecryptBlock(blk_accel, blk_accel);
+    ASSERT_EQ(0, memcmp(blk_soft, blk_accel, 16));
+    ASSERT_EQ(0, memcmp(blk_soft, iv, 16));
+  }
+}
+
+// --- Batched crypto APIs ---
+
+TEST(CmacBatchTest, ComputeBatchMatchesSingleAcrossMixedLengths) {
+  AesCmac cmac;
+  ASSERT_TRUE(cmac.SetKey(Bytes(32, 0x21)).ok());
+  Rng rng(5);
+  // Mixed-length batches exercise the lane-dropout path of the lockstep
+  // pipeline (lanes finish their chains at different steps).
+  std::vector<size_t> lens = {0, 1, 15, 16, 17, 31, 32, 33, 100,
+                              0, 64, 128, 7, 200, 16, 48};
+  std::vector<Bytes> msgs;
+  for (size_t len : lens) {
+    Bytes m(len);
+    for (auto& b : m) b = uint8_t(rng.Next());
+    msgs.push_back(std::move(m));
+  }
+  std::vector<Slice> views(msgs.begin(), msgs.end());
+  std::vector<AesCmac::Tag> tags(msgs.size());
+  cmac.ComputeBatch(views.data(), views.size(), tags.data());
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(tags[i], cmac.Compute(msgs[i])) << i;
+  }
+}
+
+TEST(CmacBatchTest, VerifyBatchFlagsTamperedTags) {
+  AesCmac cmac;
+  ASSERT_TRUE(cmac.SetKey(Bytes(16, 0x44)).ok());
+  std::vector<Bytes> msgs;
+  std::vector<AesCmac::Tag> tags(10);
+  for (int i = 0; i < 10; ++i) msgs.emplace_back(i * 7, uint8_t(i));
+  std::vector<Slice> views(msgs.begin(), msgs.end());
+  cmac.ComputeBatch(views.data(), views.size(), tags.data());
+  std::vector<Slice> tag_views;
+  for (auto& t : tags) tag_views.emplace_back(t.data(), t.size());
+  tags[3][0] ^= 1;
+  tags[7][15] ^= 0x80;
+  uint8_t ok[10];
+  EXPECT_EQ(cmac.VerifyBatch(views.data(), tag_views.data(), 10, ok), 8u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ok[i], (i == 3 || i == 7) ? 0 : 1) << i;
+  }
+}
+
+TEST(DetCipherBatchTest, EncryptBatchMatchesSingle) {
+  DetCipher det;
+  ASSERT_TRUE(det.SetKey(Bytes(32, 0x66)).ok());
+  std::vector<Bytes> plains;
+  for (size_t len : {0u, 1u, 13u, 16u, 29u, 64u, 100u, 13u, 13u}) {
+    plains.emplace_back(len, uint8_t(len * 3 + 1));
+  }
+  std::vector<Slice> views(plains.begin(), plains.end());
+  std::vector<Bytes> outs(plains.size());
+  det.EncryptBatch(views.data(), views.size(), outs.data());
+  for (size_t i = 0; i < plains.size(); ++i) {
+    EXPECT_EQ(outs[i], det.Encrypt(plains[i])) << i;
+  }
+}
+
+TEST(DetCipherBatchTest, DecryptBatchRoundTripsAndRejectsTampering) {
+  DetCipher det;
+  ASSERT_TRUE(det.SetKey(Bytes(32, 0x67)).ok());
+  std::vector<Bytes> plains, cts;
+  for (size_t len : {5u, 29u, 0u, 64u, 13u, 45u, 29u, 29u, 29u, 17u}) {
+    plains.emplace_back(len, uint8_t(0xa0 + len));
+    cts.push_back(det.Encrypt(plains.back()));
+  }
+  std::vector<Slice> views(cts.begin(), cts.end());
+  std::vector<Bytes> outs(cts.size());
+  ASSERT_TRUE(det.DecryptBatch(views.data(), views.size(), outs.data()).ok());
+  for (size_t i = 0; i < plains.size(); ++i) EXPECT_EQ(outs[i], plains[i]);
+
+  // A flipped byte anywhere in the batch surfaces as kCorruption.
+  Bytes bad = cts[4];
+  bad[bad.size() / 2] ^= 1;
+  views[4] = Slice(bad);
+  EXPECT_TRUE(
+      det.DecryptBatch(views.data(), views.size(), outs.data()).IsCorruption());
+  views[4] = Slice(cts[4]);
+
+  // A truncated ciphertext mid-batch: same kCorruption as the serial loop.
+  const Bytes shorty(4, 0);
+  views[6] = Slice(shorty);
+  EXPECT_TRUE(
+      det.DecryptBatch(views.data(), views.size(), outs.data()).IsCorruption());
+}
+
+TEST(HmacVerifyTest, TruncatedTagVerification) {
+  const Bytes key(20, 0x0b);
+  const Slice msg("Hi There", 8);
+  const auto tag = HmacSha256::Compute(key, msg);
+  EXPECT_TRUE(HmacSha256::Verify(key, msg, Slice(tag.data(), 32)));
+  EXPECT_TRUE(HmacSha256::Verify(key, msg, Slice(tag.data(), 16)));
+  uint8_t bad[16];
+  memcpy(bad, tag.data(), 16);
+  bad[0] ^= 1;
+  EXPECT_FALSE(HmacSha256::Verify(key, msg, Slice(bad, 16)));
+  EXPECT_FALSE(HmacSha256::Verify(key, msg, Slice(tag.data(), size_t{0})));
+}
+
+TEST(BackendDispatchTest, ScopedOverrideRebindsNewInstances) {
+  // Instances bind at SetKey: an override affects ciphers keyed under it,
+  // and DET ciphertexts are byte-identical either way.
+  DetCipher under_default;
+  ASSERT_TRUE(under_default.SetKey(Bytes(32, 0x10)).ok());
+  Bytes ct_default = under_default.Encrypt(Slice("same bytes", 10));
+  {
+    ScopedAesBackendOverride forced(SoftAesBackend());
+    Aes aes;
+    ASSERT_TRUE(aes.SetKey(Bytes(16, 1)).ok());
+    EXPECT_EQ(aes.backend(), SoftAesBackend());
+    DetCipher under_soft;
+    ASSERT_TRUE(under_soft.SetKey(Bytes(32, 0x10)).ok());
+    EXPECT_EQ(under_soft.Encrypt(Slice("same bytes", 10)), ct_default);
+  }
+  Aes aes_after;
+  ASSERT_TRUE(aes_after.SetKey(Bytes(16, 1)).ok());
+  EXPECT_EQ(aes_after.backend(), ActiveAesBackend());
 }
 
 // Property sweep: DET uniqueness over distinct inputs (no SIV collisions in

@@ -225,6 +225,33 @@ TEST(EncryptedTableTest, FetchWithIdsAndReplace) {
   EXPECT_EQ(rows[0].columns[0], Bytes{0xee});
 }
 
+TEST(EncryptedTableTest, FetchRefsBorrowsRowsAndCountsBytes) {
+  EncryptedTable table("t", 3, 2);
+  for (uint64_t i = 0; i < 30; ++i) {
+    // Column sizes 1 + 2 + |Key(i)| = 1 + 2 + 8 = 11 bytes per row.
+    Row row{{Bytes{uint8_t(i)}, Bytes{uint8_t(i), uint8_t(i)}, Key(i)}};
+    ASSERT_TRUE(table.Insert(std::move(row)).ok());
+  }
+  std::vector<RowRef> refs;
+  table.FetchRefs({Key(2), Key(7), Key(999), Key(11)}, &refs);
+  ASSERT_EQ(refs.size(), 3u);
+  // Borrowed pointers read the stored bytes in place (no copy).
+  EXPECT_EQ(refs[0].row->columns[0], Bytes{2});
+  EXPECT_EQ(refs[1].row->columns[0], Bytes{7});
+  EXPECT_EQ(refs[2].row->columns[0], Bytes{11});
+  EXPECT_EQ(refs[1].row_id, 7u);
+
+  const TableStats stats = table.stats();
+  EXPECT_EQ(stats.index_probes, 4u);
+  EXPECT_EQ(stats.index_hits, 3u);
+  EXPECT_EQ(stats.rows_fetched, 3u);
+  EXPECT_EQ(stats.bytes_fetched, 3u * 11u);
+
+  // The copying wrappers ride FetchRefs, so they count bytes too.
+  (void)table.FetchByIndexKeys({Key(1)});
+  EXPECT_EQ(table.stats().bytes_fetched, 4u * 11u);
+}
+
 TEST(EncryptedTableTest, BatchInsert) {
   EncryptedTable table("t", 2, 1);
   std::vector<Row> rows;
