@@ -5,13 +5,14 @@
 // generation, hash chains, and the shared-vector encryption.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/timer.h"
 
 using namespace concealer;
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader("Exp 1: Algorithm 1 encryption throughput",
                      "paper §9.2 Exp 1 (≈37,185 tuples/min)");
 
@@ -40,6 +41,12 @@ int main() {
 
   std::printf("%-28s %12s %14s %14s\n", "variant", "rows", "seconds",
               "rows/min");
+  struct Measurement {
+    bool chains;
+    double seconds;
+    double rows_per_min;
+  };
+  std::vector<Measurement> results;
   for (const bool chains : {true, false}) {
     ConcealerConfig c = config;
     c.make_hash_chains = chains;
@@ -48,14 +55,44 @@ int main() {
     auto epoch = provider.EncryptEpoch(0, 0, tuples);
     if (!epoch.ok()) return 1;
     const double secs = t.ElapsedSeconds();
+    results.push_back({chains, secs, tuples.size() / secs * 60});
     std::printf("%-28s %12zu %14.2f %14.0f\n",
                 chains ? "Algorithm 1 (with chains)"
                        : "Algorithm 1 (no chains)",
-                tuples.size(), secs, tuples.size() / secs * 60);
+                tuples.size(), secs, results.back().rows_per_min);
   }
   std::printf("\npaper reference: 37,185 rows/min (SGX-era Xeon E3; ours is "
               "a software AES\non current hardware — absolute numbers "
               "differ, sustained-ingest shape holds)\n");
+
+  // Machine-readable trajectory for the CI artifact (like the PR 3
+  // benches): one entry per variant plus the paper's reference rate.
+  if (const char* path = bench::BenchJsonPath(argc, argv)) {
+    bench::JsonWriter j;
+    j.BeginObject();
+    j.Key("bench");
+    j.String("exp1_throughput");
+    j.Key("rows");
+    j.Number(static_cast<uint64_t>(tuples.size()));
+    j.Key("paper_rows_per_min");
+    j.Number(static_cast<uint64_t>(37185));
+    j.Key("results");
+    j.BeginArray();
+    for (const Measurement& m : results) {
+      j.BeginObject();
+      j.Key("variant");
+      j.String(m.chains ? "with_chains" : "no_chains");
+      j.Key("seconds");
+      j.Number(m.seconds);
+      j.Key("rows_per_min");
+      j.Number(m.rows_per_min);
+      j.EndObject();
+    }
+    j.EndArray();
+    j.EndObject();
+    bench::WriteFileOrDie(path, j.str());
+    std::fprintf(stderr, "[exp1] wrote %s\n", path);
+  }
   bench::PrintFooter();
   return 0;
 }

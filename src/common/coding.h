@@ -57,6 +57,18 @@ inline bool GetLengthPrefixed(Slice src, size_t* offset, Bytes* out) {
   return true;
 }
 
+/// Like GetLengthPrefixed but returns a view into `src` instead of copying
+/// — the mmap segment engine parses records into borrowed columns with it.
+inline bool GetLengthPrefixedView(Slice src, size_t* offset, Slice* out) {
+  if (*offset + 4 > src.size()) return false;
+  uint32_t len = DecodeFixed32(src.data() + *offset);
+  *offset += 4;
+  if (*offset + len > src.size()) return false;
+  *out = Slice(src.data() + *offset, len);
+  *offset += len;
+  return true;
+}
+
 /// Appends raw bytes.
 inline void PutBytes(Bytes* dst, Slice s) {
   dst->insert(dst->end(), s.data(), s.data() + s.size());

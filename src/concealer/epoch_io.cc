@@ -1,6 +1,7 @@
 #include "concealer/epoch_io.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/coding.h"
 
@@ -10,6 +11,7 @@ namespace {
 
 constexpr uint32_t kMagic = 0x434f4e43;  // "CONC".
 constexpr uint32_t kVersion = 1;
+constexpr size_t kFrameHeader = 24;
 
 // FNV-1a over the framed payload: a cheap transport checksum (content
 // integrity is cryptographic, see header).
@@ -24,7 +26,63 @@ uint64_t Fnv1a(Slice data) {
 
 }  // namespace
 
-Bytes SerializeEpoch(const EncryptedEpoch& epoch) {
+size_t FramedSize(size_t body_size) { return kFrameHeader + body_size; }
+
+void AppendFramedRecord(Bytes* out, Slice body) {
+  out->reserve(out->size() + FramedSize(body.size()));
+  PutFixed32(out, kMagic);
+  PutFixed32(out, kVersion);
+  PutFixed64(out, Fnv1a(body));
+  PutFixed64(out, body.size());
+  PutBytes(out, body);
+}
+
+void WriteFramedRecordTo(uint8_t* dst, Slice body) {
+  Bytes header;
+  header.reserve(kFrameHeader);
+  PutFixed32(&header, kMagic);
+  PutFixed32(&header, kVersion);
+  PutFixed64(&header, Fnv1a(body));
+  PutFixed64(&header, body.size());
+  std::memcpy(dst, header.data(), kFrameHeader);
+  if (!body.empty()) std::memcpy(dst + kFrameHeader, body.data(), body.size());
+}
+
+StatusOr<Slice> ReadFramedRecord(Slice data, size_t* off) {
+  if (*off >= data.size()) return Status::NotFound("end of records");
+  const size_t remaining = data.size() - *off;
+  // A zeroed magic word marks the clean tail of a preallocated segment.
+  if (remaining >= 4 && DecodeFixed32(data.data() + *off) == 0) {
+    return Status::NotFound("end of records");
+  }
+  if (remaining < kFrameHeader) {
+    return Status::Corruption("truncated record frame");
+  }
+  const uint8_t* p = data.data() + *off;
+  if (DecodeFixed32(p) != kMagic) {
+    return Status::Corruption("bad record magic");
+  }
+  const uint32_t version = DecodeFixed32(p + 4);
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported record format version " +
+                                   std::to_string(version));
+  }
+  const uint64_t checksum = DecodeFixed64(p + 8);
+  const uint64_t body_len = DecodeFixed64(p + 16);
+  if (body_len > remaining - kFrameHeader) {
+    return Status::Corruption("truncated record body");
+  }
+  const Slice body(p + kFrameHeader, body_len);
+  if (Fnv1a(body) != checksum) {
+    return Status::Corruption("record checksum mismatch");
+  }
+  *off += kFrameHeader + body_len;
+  return body;
+}
+
+namespace {
+
+Bytes SerializeEpochBody(const EncryptedEpoch& epoch) {
   // Exact size precomputation: one allocation for the body instead of
   // doubling-growth reallocs (epoch blobs run to hundreds of MB at paper
   // scale, and the shipment is on the DP's ingest critical path).
@@ -34,7 +92,7 @@ Bytes SerializeEpoch(const EncryptedEpoch& epoch) {
   body_size += 8;  // Row count.
   for (const Row& row : epoch.rows) {
     body_size += 4;
-    for (const Bytes& col : row.columns) body_size += 4 + col.size();
+    for (const Column& col : row.columns) body_size += 4 + col.size();
   }
   Bytes body;
   body.reserve(body_size);
@@ -47,46 +105,14 @@ Bytes SerializeEpoch(const EncryptedEpoch& epoch) {
   PutFixed64(&body, epoch.rows.size());
   for (const Row& row : epoch.rows) {
     PutFixed32(&body, static_cast<uint32_t>(row.columns.size()));
-    for (const Bytes& col : row.columns) {
+    for (const Column& col : row.columns) {
       PutLengthPrefixed(&body, col);
     }
   }
-
-  Bytes out;
-  out.reserve(24 + body.size());
-  PutFixed32(&out, kMagic);
-  PutFixed32(&out, kVersion);
-  PutFixed64(&out, Fnv1a(body));
-  PutFixed64(&out, body.size());
-  PutBytes(&out, body);
-  return out;
+  return body;
 }
 
-StatusOr<EncryptedEpoch> DeserializeEpoch(Slice data) {
-  if (data.size() < 24) return Status::Corruption("epoch blob too short");
-  size_t off = 0;
-  if (DecodeFixed32(data.data()) != kMagic) {
-    return Status::Corruption("bad epoch magic");
-  }
-  off += 4;
-  const uint32_t version = DecodeFixed32(data.data() + off);
-  off += 4;
-  if (version != kVersion) {
-    return Status::InvalidArgument("unsupported epoch format version " +
-                                   std::to_string(version));
-  }
-  const uint64_t checksum = DecodeFixed64(data.data() + off);
-  off += 8;
-  const uint64_t body_len = DecodeFixed64(data.data() + off);
-  off += 8;
-  if (off + body_len != data.size()) {
-    return Status::Corruption("epoch blob length mismatch");
-  }
-  const Slice body(data.data() + off, body_len);
-  if (Fnv1a(body) != checksum) {
-    return Status::Corruption("epoch blob checksum mismatch");
-  }
-
+StatusOr<EncryptedEpoch> DeserializeEpochBody(Slice body) {
   EncryptedEpoch epoch;
   size_t boff = 0;
   if (body.size() < 32) return Status::Corruption("epoch body truncated");
@@ -113,11 +139,13 @@ StatusOr<EncryptedEpoch> DeserializeEpoch(Slice data) {
     boff += 4;
     if (cols > 64) return Status::Corruption("implausible column count");
     Row row;
-    row.columns.resize(cols);
+    row.columns.reserve(cols);
     for (uint32_t c = 0; c < cols; ++c) {
-      if (!GetLengthPrefixed(body, &boff, &row.columns[c])) {
+      Bytes col;
+      if (!GetLengthPrefixed(body, &boff, &col)) {
         return Status::Corruption("epoch body truncated in row columns");
       }
+      row.columns.emplace_back(std::move(col));
     }
     epoch.rows.push_back(std::move(row));
   }
@@ -127,21 +155,106 @@ StatusOr<EncryptedEpoch> DeserializeEpoch(Slice data) {
   return epoch;
 }
 
-Status WriteEpochFile(const std::string& path, const EncryptedEpoch& epoch) {
-  const Bytes blob = SerializeEpoch(epoch);
+}  // namespace
+
+Bytes SerializeEpoch(const EncryptedEpoch& epoch) {
+  const Bytes body = SerializeEpochBody(epoch);
+  Bytes out;
+  out.reserve(FramedSize(body.size()));
+  AppendFramedRecord(&out, body);
+  return out;
+}
+
+StatusOr<EncryptedEpoch> DeserializeEpoch(Slice data) {
+  if (data.size() < kFrameHeader) {
+    return Status::Corruption("epoch blob too short");
+  }
+  size_t off = 0;
+  StatusOr<Slice> body = ReadFramedRecord(data, &off);
+  if (!body.ok()) {
+    // A zeroed magic reads as a clean log tail in a segment scan, but a
+    // standalone epoch blob must carry a real frame.
+    if (body.status().IsNotFound()) {
+      return Status::Corruption("bad epoch magic");
+    }
+    return body.status();
+  }
+  if (off != data.size()) {
+    return Status::Corruption("epoch blob length mismatch");
+  }
+  return DeserializeEpochBody(*body);
+}
+
+Bytes SerializeEpochMeta(const EpochMeta& meta) {
+  EncryptedEpoch stripped = meta.epoch;
+  stripped.rows.clear();
+  const Bytes epoch_blob = SerializeEpoch(stripped);
+  Bytes body;
+  body.reserve(8 + 8 + 4 + 4 + 4 + epoch_blob.size());
+  PutFixed64(&body, meta.first_row_id);
+  PutFixed64(&body, meta.num_rows);
+  PutFixed32(&body, meta.seg_lo);
+  PutFixed32(&body, meta.seg_hi);
+  PutLengthPrefixed(&body, epoch_blob);
+  Bytes out;
+  AppendFramedRecord(&out, body);
+  return out;
+}
+
+StatusOr<EpochMeta> DeserializeEpochMeta(Slice data) {
+  size_t off = 0;
+  StatusOr<Slice> body = ReadFramedRecord(data, &off);
+  if (!body.ok()) {
+    if (body.status().IsNotFound()) {
+      return Status::Corruption("bad epoch meta magic");
+    }
+    return body.status();
+  }
+  if (off != data.size()) {
+    return Status::Corruption("epoch meta length mismatch");
+  }
+  if (body->size() < 24) return Status::Corruption("epoch meta truncated");
+  EpochMeta meta;
+  meta.first_row_id = DecodeFixed64(body->data());
+  meta.num_rows = DecodeFixed64(body->data() + 8);
+  meta.seg_lo = DecodeFixed32(body->data() + 16);
+  meta.seg_hi = DecodeFixed32(body->data() + 20);
+  size_t boff = 24;
+  Bytes epoch_blob;
+  if (!GetLengthPrefixed(*body, &boff, &epoch_blob) || boff != body->size()) {
+    return Status::Corruption("epoch meta truncated in epoch blob");
+  }
+  StatusOr<EncryptedEpoch> epoch = DeserializeEpoch(epoch_blob);
+  if (!epoch.ok()) return epoch.status();
+  meta.epoch = std::move(*epoch);
+  return meta;
+}
+
+Status WriteEpochMetaFile(const std::string& path, const EpochMeta& meta) {
+  return WriteFileBytes(path, SerializeEpochMeta(meta));
+}
+
+StatusOr<EpochMeta> ReadEpochMetaFile(const std::string& path) {
+  StatusOr<Bytes> blob = ReadFileBytes(path);
+  if (!blob.ok()) return blob.status();
+  return DeserializeEpochMeta(*blob);
+}
+
+Status WriteFileBytes(const std::string& path, Slice data) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::Internal("cannot open for write: " + path);
   }
-  const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  const size_t written =
+      data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
   const int rc = std::fclose(f);
-  if (written != blob.size() || rc != 0) {
+  if (written != data.size() || rc != 0) {
     return Status::Internal("short write: " + path);
   }
   return Status::OK();
 }
 
-StatusOr<EncryptedEpoch> ReadEpochFile(const std::string& path) {
+StatusOr<Bytes> ReadFileBytes(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("cannot open for read: " + path);
@@ -154,12 +267,23 @@ StatusOr<EncryptedEpoch> ReadEpochFile(const std::string& path) {
     return Status::Internal("cannot stat: " + path);
   }
   Bytes blob(static_cast<size_t>(size));
-  const size_t read = std::fread(blob.data(), 1, blob.size(), f);
+  const size_t read =
+      blob.empty() ? 0 : std::fread(blob.data(), 1, blob.size(), f);
   std::fclose(f);
   if (read != blob.size()) {
     return Status::Internal("short read: " + path);
   }
-  return DeserializeEpoch(blob);
+  return blob;
+}
+
+Status WriteEpochFile(const std::string& path, const EncryptedEpoch& epoch) {
+  return WriteFileBytes(path, SerializeEpoch(epoch));
+}
+
+StatusOr<EncryptedEpoch> ReadEpochFile(const std::string& path) {
+  StatusOr<Bytes> blob = ReadFileBytes(path);
+  if (!blob.ok()) return blob.status();
+  return DeserializeEpoch(*blob);
 }
 
 }  // namespace concealer

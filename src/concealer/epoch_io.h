@@ -26,6 +26,56 @@ StatusOr<EncryptedEpoch> DeserializeEpoch(Slice data);
 Status WriteEpochFile(const std::string& path, const EncryptedEpoch& epoch);
 StatusOr<EncryptedEpoch> ReadEpochFile(const std::string& path);
 
+// --- The shared record frame ---------------------------------------------
+// magic "CONC" (4) | version (4) | FNV-1a(body) (8) | body length (8) | body
+//
+// Epoch blobs, epoch-meta files, the index sidecar and every record in a
+// persistent segment file reuse this frame, so the same corruption checks
+// (bad magic, unsupported version, checksum mismatch, truncation) guard all
+// of them.
+
+/// Frame size for a body of `body_size` bytes (header + body).
+size_t FramedSize(size_t body_size);
+
+/// Appends the frame + body to `out`.
+void AppendFramedRecord(Bytes* out, Slice body);
+
+/// Writes the frame + body into `dst`, which must hold at least
+/// FramedSize(body.size()) bytes. Used by the mmap segment engine to
+/// serialize records straight into the mapped file.
+void WriteFramedRecordTo(uint8_t* dst, Slice body);
+
+/// Parses the frame at data[*off..]. On success returns the body (a view
+/// into `data`) and advances *off past the record. Returns kNotFound for a
+/// clean end of a zero-filled log tail (absent magic), kInvalidArgument for
+/// an unsupported version, kCorruption for any mangling (bad magic,
+/// truncated frame or body, checksum mismatch).
+StatusOr<Slice> ReadFramedRecord(Slice data, size_t* off);
+
+// --- Epoch metadata sidecar -----------------------------------------------
+
+/// Everything a restarted service provider needs to re-adopt an ingested
+/// epoch without re-shipping it: the encrypted enclave blobs (grid layout,
+/// verifiable tags — rows live in the storage engine's segments) plus the
+/// row-id span and segment range the epoch occupies. Written next to the
+/// segment files at ingest; read back by ServiceProvider::Open.
+struct EpochMeta {
+  EncryptedEpoch epoch;  // rows empty — only the metadata fields matter.
+  uint64_t first_row_id = 0;
+  uint64_t num_rows = 0;
+  uint32_t seg_lo = 0;  // Segment range holding the epoch's rows.
+  uint32_t seg_hi = 0;
+};
+
+Bytes SerializeEpochMeta(const EpochMeta& meta);
+StatusOr<EpochMeta> DeserializeEpochMeta(Slice data);
+Status WriteEpochMetaFile(const std::string& path, const EpochMeta& meta);
+StatusOr<EpochMeta> ReadEpochMetaFile(const std::string& path);
+
+/// Whole-file helpers shared by the epoch/meta/sidecar transports.
+Status WriteFileBytes(const std::string& path, Slice data);
+StatusOr<Bytes> ReadFileBytes(const std::string& path);
+
 }  // namespace concealer
 
 #endif  // CONCEALER_CONCEALER_EPOCH_IO_H_

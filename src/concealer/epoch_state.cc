@@ -9,11 +9,27 @@ StatusOr<EpochState> EpochState::Create(const Enclave& enclave,
                                         const ConcealerConfig& config,
                                         const EncryptedEpoch& epoch,
                                         uint64_t first_row_id) {
+  return CreateInternal(enclave, config, epoch, first_row_id,
+                        epoch.rows.size());
+}
+
+StatusOr<EpochState> EpochState::CreateFromMeta(const Enclave& enclave,
+                                                const ConcealerConfig& config,
+                                                const EpochMeta& meta) {
+  return CreateInternal(enclave, config, meta.epoch, meta.first_row_id,
+                        meta.num_rows);
+}
+
+StatusOr<EpochState> EpochState::CreateInternal(const Enclave& enclave,
+                                                const ConcealerConfig& config,
+                                                const EncryptedEpoch& epoch,
+                                                uint64_t first_row_id,
+                                                uint64_t num_rows) {
   EpochState state;
   state.epoch_id_ = epoch.epoch_id;
   state.epoch_start_ = epoch.epoch_start;
   state.first_row_id_ = first_row_id;
-  state.num_rows_ = epoch.rows.size();
+  state.num_rows_ = num_rows;
   state.num_fakes_ = epoch.num_fake_tuples;
   state.num_real_ = epoch.num_real_tuples;
 

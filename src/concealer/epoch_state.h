@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "concealer/bin_packing.h"
+#include "concealer/epoch_io.h"
 #include "concealer/grid.h"
 #include "concealer/types.h"
 #include "concealer/wire.h"
@@ -38,6 +39,13 @@ class EpochState {
                                      const ConcealerConfig& config,
                                      const EncryptedEpoch& epoch,
                                      uint64_t first_row_id);
+
+  /// Restart path: rebuilds the state from a persisted epoch-meta sidecar
+  /// (the rows live in the storage engine's recovered segments, so the
+  /// meta's row *count* substitutes for epoch.rows.size()).
+  static StatusOr<EpochState> CreateFromMeta(const Enclave& enclave,
+                                             const ConcealerConfig& config,
+                                             const EpochMeta& meta);
 
   uint64_t epoch_id() const { return epoch_id_; }
   uint64_t epoch_start() const { return epoch_start_; }
@@ -88,6 +96,12 @@ class EpochState {
 
  private:
   EpochState() = default;
+
+  static StatusOr<EpochState> CreateInternal(const Enclave& enclave,
+                                             const ConcealerConfig& config,
+                                             const EncryptedEpoch& epoch,
+                                             uint64_t first_row_id,
+                                             uint64_t num_rows);
 
   uint64_t epoch_id_ = 0;
   uint64_t epoch_start_ = 0;

@@ -14,8 +14,8 @@ namespace concealer {
 
 namespace {
 
-std::string ToStringKey(const Bytes& b) {
-  return std::string(b.begin(), b.end());
+std::string ToStringKey(Slice b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 
 // One cell-id's real trapdoors E_k(cid‖1..count), in counter order — the
@@ -268,7 +268,9 @@ StatusOr<FetchedUnit> QueryExecutor::FetchWithIds(
   if (row_ids != nullptr) row_ids->reserve(refs.size());
   for (const RowRef& ref : refs) {
     if (row_ids != nullptr) row_ids->push_back(ref.row_id);
-    fetched.rows.push_back(ref.row);
+    // Checked borrow handoff: asserts (debug builds) that the store has not
+    // invalidated the ref between fetch and use.
+    fetched.rows.push_back(ref.get());
   }
 
   // Align rows back to cell-ids for verification: a row's Index column is

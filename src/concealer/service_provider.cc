@@ -1,28 +1,133 @@
 #include "concealer/service_provider.h"
 
+#include <dirent.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <set>
 
+#include "concealer/epoch_io.h"
 #include "concealer/super_bins.h"
 #include "concealer/wire.h"
 #include "crypto/det_cipher.h"
 #include "crypto/kdf.h"
 #include "crypto/rand_cipher.h"
+#include "storage/row_store.h"
 
 namespace concealer {
 
+namespace {
+
+std::string IndexSidecarPath(const std::string& dir) {
+  return dir + "/index.sidecar";
+}
+
+std::string EpochMetaPath(const std::string& dir, uint64_t epoch_id) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "epoch-%020llu.meta",
+                static_cast<unsigned long long>(epoch_id));
+  return dir + "/" + name;
+}
+
+/// The non-failing constructor path: a broken persistent engine degrades
+/// to the in-memory heap instead of aborting setup (Open is the strict
+/// variant).
+std::unique_ptr<StorageEngine> MakeEngineOrFallback(
+    const StorageOptions& options) {
+  StatusOr<std::unique_ptr<StorageEngine>> engine = MakeStorageEngine(options);
+  if (engine.ok()) return std::move(*engine);
+  std::fprintf(stderr,
+               "[concealer] storage engine unavailable (%s); falling back to "
+               "the in-memory heap\n",
+               engine.status().ToString().c_str());
+  return std::make_unique<RowStore>();
+}
+
+}  // namespace
+
 ServiceProvider::ServiceProvider(ConcealerConfig config, Bytes sk)
+    : ServiceProvider(std::move(config), std::move(sk),
+                      StorageOptions::FromEnv()) {}
+
+ServiceProvider::ServiceProvider(ConcealerConfig config, Bytes sk,
+                                 const StorageOptions& storage)
+    : ServiceProvider(std::move(config), std::move(sk), storage,
+                      MakeEngineOrFallback(storage)) {}
+
+ServiceProvider::ServiceProvider(ConcealerConfig config, Bytes sk,
+                                 StorageOptions storage,
+                                 std::unique_ptr<StorageEngine> engine)
     : config_(config),
       enclave_(std::move(sk)),
-      table_("concealer", kNumRowColumns, kColIndex),
+      storage_options_(std::move(storage)),
+      table_("concealer", kNumRowColumns, kColIndex, std::move(engine)),
       executor_(&enclave_, &table_, config_),
       planner_(config_),
       rng_(0xc0ffee) {
+  persistent_ = table_.engine()->persistent();
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
+}
+
+StatusOr<std::unique_ptr<ServiceProvider>> ServiceProvider::Open(
+    ConcealerConfig config, Bytes sk, const StorageOptions& storage) {
+  if (storage.engine != StorageOptions::Engine::kMmap || storage.dir.empty()) {
+    return Status::InvalidArgument(
+        "ServiceProvider::Open needs a persistent mmap storage dir");
+  }
+  StatusOr<std::unique_ptr<StorageEngine>> engine = MakeStorageEngine(storage);
+  if (!engine.ok()) return engine.status();
+  std::unique_ptr<ServiceProvider> provider(new ServiceProvider(
+      std::move(config), std::move(sk), storage, std::move(*engine)));
+  CONCEALER_RETURN_IF_ERROR(provider->Recover());
+  return provider;
+}
+
+Status ServiceProvider::Recover() {
+  if (table_.num_rows() > 0) {
+    CONCEALER_RETURN_IF_ERROR(
+        table_.RecoverIndex(IndexSidecarPath(storage_options_.dir)));
+  }
+  // Re-adopt every persisted epoch: the meta file carries the encrypted
+  // enclave blobs (layout, tags) plus the row span and segment range; the
+  // rows themselves were already recovered by the engine's segment scan.
+  std::vector<std::string> meta_files;
+  DIR* d = ::opendir(storage_options_.dir.c_str());
+  if (d == nullptr) {
+    return Status::Internal("cannot open storage dir: " +
+                            storage_options_.dir);
+  }
+  while (dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name.size() > 11 && name.compare(0, 6, "epoch-") == 0 &&
+        name.compare(name.size() - 5, 5, ".meta") == 0) {
+      meta_files.push_back(storage_options_.dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(meta_files.begin(), meta_files.end());
+  for (const std::string& path : meta_files) {
+    StatusOr<EpochMeta> meta = ReadEpochMetaFile(path);
+    if (!meta.ok()) return meta.status();
+    if (meta->first_row_id + meta->num_rows > table_.num_rows()) {
+      return Status::Corruption("epoch meta row span exceeds recovered rows: " +
+                                path);
+    }
+    StatusOr<EpochState> state =
+        EpochState::CreateFromMeta(enclave_, config_, *meta);
+    if (!state.ok()) return state.status();
+    const uint64_t eid = meta->epoch.epoch_id;
+    if (!epochs_.emplace(eid, std::move(*state)).second) {
+      return Status::Corruption("duplicate epoch meta: " + path);
+    }
+    if (meta->num_rows > 0) {
+      epoch_segments_[eid] = {meta->seg_lo, meta->seg_hi};
+    }
+  }
+  return Status::OK();
 }
 
 void ServiceProvider::set_num_threads(uint32_t n) {
@@ -42,9 +147,81 @@ Status ServiceProvider::IngestEpoch(const EncryptedEpoch& epoch) {
   StatusOr<EpochState> state =
       EpochState::Create(enclave_, config_, epoch, first_row_id);
   if (!state.ok()) return state.status();
+  StorageEngine* engine = table_.engine();
+  // Close out any unsealed active segment (a §6 dynamic-mode Replace opens
+  // one for its rewritten rows) so the epoch about to land really starts
+  // at segment index NumSegments() — otherwise the recorded range would
+  // miss the rows appended into the leftover active segment.
+  CONCEALER_RETURN_IF_ERROR(engine->SealSegment());
+  const uint32_t seg_lo = engine->NumSegments();
   CONCEALER_RETURN_IF_ERROR(table_.InsertBatch(epoch.rows));
   epochs_.emplace(epoch.epoch_id, std::move(*state));
+  if (!epoch.rows.empty() && engine->NumSegments() > 0) {
+    CONCEALER_RETURN_IF_ERROR(engine->SealSegment());
+    epoch_segments_[epoch.epoch_id] = {seg_lo, engine->NumSegments() - 1};
+  }
+  if (persistent_) {
+    EpochMeta meta;
+    meta.epoch = epoch;  // rows are stripped by SerializeEpochMeta.
+    meta.first_row_id = first_row_id;
+    meta.num_rows = epoch.rows.size();
+    auto seg_it = epoch_segments_.find(epoch.epoch_id);
+    if (seg_it != epoch_segments_.end()) {
+      meta.seg_lo = seg_it->second.first;
+      meta.seg_hi = seg_it->second.second;
+    }
+    CONCEALER_RETURN_IF_ERROR(WriteEpochMetaFile(
+        EpochMetaPath(storage_options_.dir, epoch.epoch_id), meta));
+    // Sidecar dumps rewrite the WHOLE index, so re-dumping on every ingest
+    // would cost O(K^2) cumulative bytes over a provider's lifetime.
+    // Persist geometrically (first epoch, then each time the table has
+    // doubled): total sidecar I/O stays O(total rows), and a restart whose
+    // stamp is stale simply rebuilds the index from the recovered rows —
+    // the same O(n) insert work the sidecar load would do.
+    const uint64_t rows_now = table_.num_rows();
+    if (sidecar_rows_ == 0 || rows_now >= 2 * sidecar_rows_) {
+      CONCEALER_RETURN_IF_ERROR(
+          table_.PersistIndex(IndexSidecarPath(storage_options_.dir)));
+      sidecar_rows_ = rows_now;
+    }
+  }
   return Status::OK();
+}
+
+bool ServiceProvider::EpochOverlapsQuery(const EpochState& state,
+                                         const Query& query) const {
+  if (config_.time_buckets == 0) return true;
+  const uint64_t lo = state.epoch_start();
+  const uint64_t hi = lo + config_.epoch_seconds - 1;
+  return query.time_hi >= lo && query.time_lo <= hi;
+}
+
+std::vector<uint64_t> ServiceProvider::EpochIdsForQuery(
+    const Query& query) const {
+  std::vector<uint64_t> out;
+  for (const auto& [eid, state] : epochs_) {
+    if (EpochOverlapsQuery(state, query)) out.push_back(eid);
+  }
+  return out;
+}
+
+bool ServiceProvider::EpochRowsResident(uint64_t epoch_id) const {
+  auto it = epoch_segments_.find(epoch_id);
+  if (it == epoch_segments_.end()) return true;  // Nothing segment-backed.
+  return table_.engine().SegmentsResident(it->second.first,
+                                          it->second.second);
+}
+
+Status ServiceProvider::EvictEpochRows(uint64_t epoch_id) {
+  auto it = epoch_segments_.find(epoch_id);
+  if (it == epoch_segments_.end()) return Status::OK();
+  return table_.engine()->EvictSegments(it->second.first, it->second.second);
+}
+
+Status ServiceProvider::LoadEpochRows(uint64_t epoch_id) {
+  auto it = epoch_segments_.find(epoch_id);
+  if (it == epoch_segments_.end()) return Status::OK();
+  return table_.engine()->LoadSegments(it->second.first, it->second.second);
 }
 
 StatusOr<EpochState*> ServiceProvider::epoch_state(uint64_t epoch_id) {
@@ -66,12 +243,7 @@ std::vector<EpochRowRange> ServiceProvider::EpochRowRanges() const {
 std::vector<EpochState*> ServiceProvider::EpochsForQuery(const Query& query) {
   std::vector<EpochState*> out;
   for (auto& [eid, state] : epochs_) {
-    if (config_.time_buckets > 0) {
-      const uint64_t lo = state.epoch_start();
-      const uint64_t hi = lo + config_.epoch_seconds - 1;
-      if (query.time_hi < lo || query.time_lo > hi) continue;
-    }
-    out.push_back(&state);
+    if (EpochOverlapsQuery(state, query)) out.push_back(&state);
   }
   return out;
 }
@@ -258,6 +430,14 @@ Status ServiceProvider::ReencryptBin(EpochState* state, uint32_t bin_index,
 StatusOr<QueryResult> ServiceProvider::Execute(const Query& query) {
   QueryExecutor::AggState agg;
   for (EpochState* state : EpochsForQuery(query)) {
+    // An evicted epoch must fail loudly rather than silently answer from
+    // the rows that happen to be resident; the service layer's lifecycle
+    // manager reloads cold epochs before queries reach this point.
+    if (!EpochRowsResident(state->epoch_id())) {
+      return Status::FailedPrecondition(
+          "epoch " + std::to_string(state->epoch_id()) +
+          " rows are evicted; load them before querying");
+    }
     if (dynamic_mode_) {
       CONCEALER_RETURN_IF_ERROR(ExecuteOnEpochDynamic(state, query, &agg));
     } else {

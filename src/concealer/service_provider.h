@@ -39,8 +39,28 @@ namespace concealer {
 class ServiceProvider {
  public:
   /// `sk` models the DP-provisioned enclave secret (remote attestation and
-  /// key exchange are out of the paper's scope, §1.2).
+  /// key exchange are out of the paper's scope, §1.2). The storage engine
+  /// comes from CONCEALER_STORAGE_ENGINE (in-memory heap by default; CI
+  /// runs the suite under both engines through that toggle).
   ServiceProvider(ConcealerConfig config, Bytes sk);
+
+  /// Explicit engine selection (a failed persistent-engine open falls back
+  /// to the in-memory heap with a warning — use Open for the strict path).
+  ServiceProvider(ConcealerConfig config, Bytes sk,
+                  const StorageOptions& storage);
+
+  /// Opens a provider over a persistent segment directory, RECOVERING any
+  /// state a previous process left there: re-maps the segments, restores
+  /// the B+-tree from the index sidecar (or re-scans the rows), and
+  /// re-adopts every ingested epoch from its epoch-meta file — queries
+  /// then answer byte-identically to the pre-restart provider. Requires
+  /// `storage.engine == kMmap` and a non-empty dir.
+  ///
+  /// Restart fidelity covers the static query path; §6 dynamic-mode key
+  /// versions and refreshed tags are enclave state that is not persisted
+  /// (the meta file holds the DP's original encrypted tags).
+  static StatusOr<std::unique_ptr<ServiceProvider>> Open(
+      ConcealerConfig config, Bytes sk, const StorageOptions& storage);
 
   /// Installs the DP's encrypted user registry (Phase 0).
   Status LoadRegistry(Slice encrypted_registry);
@@ -114,7 +134,41 @@ class ServiceProvider {
   /// Execute calls.
   std::vector<EpochRowRange> EpochRowRanges() const;
 
+  // --- Epoch row tiering (persistent engines; no-ops in memory) ---------
+  // The service layer's EpochLifecycleManager drives these under the
+  // exclusive epoch lock: cold epochs' segments are unmapped and their row
+  // table dropped; a later query reloads them on demand. EpochState (the
+  // enclave-side meta-index) stays resident either way.
+
+  /// Ids of the epochs a query's time range touches (what the lifecycle
+  /// manager must keep resident to serve it). Safe under the shared lock.
+  std::vector<uint64_t> EpochIdsForQuery(const Query& query) const;
+
+  /// True iff every row of `epoch_id` is readable (also true for unknown
+  /// ids — nothing to load). Safe under the shared lock.
+  bool EpochRowsResident(uint64_t epoch_id) const;
+
+  /// Drop / restore the epoch's segment range. Exclusive access required.
+  Status EvictEpochRows(uint64_t epoch_id);
+  Status LoadEpochRows(uint64_t epoch_id);
+
+  /// True when this provider persists to a reopenable directory.
+  bool persistent() const { return persistent_; }
+  const StorageOptions& storage_options() const { return storage_options_; }
+
  private:
+  /// Internal: engine already built (Open/recovery path).
+  ServiceProvider(ConcealerConfig config, Bytes sk, StorageOptions storage,
+                  std::unique_ptr<StorageEngine> engine);
+
+  /// Restart recovery over a reopened engine: index + epoch metas.
+  Status Recover();
+
+  /// The one time-overlap predicate shared by the execute and lifecycle
+  /// paths — they must agree on which epochs a query touches, or the
+  /// residency guard would reject epochs the manager chose not to load.
+  bool EpochOverlapsQuery(const EpochState& state, const Query& query) const;
+
   // Epochs overlapping the query's time range.
   std::vector<EpochState*> EpochsForQuery(const Query& query);
 
@@ -134,10 +188,20 @@ class ServiceProvider {
 
   ConcealerConfig config_;
   Enclave enclave_;
+  StorageOptions storage_options_;
+  /// True when the engine persists under storage_options_.dir (meta files
+  /// and the index sidecar are maintained there too).
+  bool persistent_ = false;
   EncryptedTable table_;
   QueryExecutor executor_;
   RangePlanner planner_;
   std::map<uint64_t, EpochState> epochs_;
+  /// Segment range each epoch's rows occupy (persistent engines; used by
+  /// the evict/load hooks and written into the epoch meta files).
+  std::map<uint64_t, std::pair<uint32_t, uint32_t>> epoch_segments_;
+  /// Table size at the last index-sidecar dump (geometric persistence —
+  /// see IngestEpoch).
+  uint64_t sidecar_rows_ = 0;
   /// Workers for the parallel fetch path; null when num_threads <= 1. Lives
   /// on the untrusted side of the simulated boundary — see
   /// docs/ARCHITECTURE.md — but workers only run enclave-side per-unit work

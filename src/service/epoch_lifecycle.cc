@@ -1,0 +1,76 @@
+#include "service/epoch_lifecycle.h"
+
+#include <algorithm>
+
+namespace concealer {
+
+void EpochLifecycleManager::BumpLocked(uint64_t epoch_id) {
+  auto it = pos_.find(epoch_id);
+  if (it != pos_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(epoch_id);
+    pos_[epoch_id] = lru_.begin();
+  }
+}
+
+Status EpochLifecycleManager::EvictBeyondCapLocked(
+    const std::vector<uint64_t>& keep) {
+  if (options_.max_hot_epochs == 0) return Status::OK();
+  // Walk from the cold end; epochs the current query needs are immune even
+  // when the cap is smaller than the query's span.
+  auto it = lru_.end();
+  while (lru_.size() > options_.max_hot_epochs && it != lru_.begin()) {
+    --it;
+    const uint64_t victim = *it;
+    if (std::find(keep.begin(), keep.end(), victim) != keep.end()) continue;
+    CONCEALER_RETURN_IF_ERROR(provider_->EvictEpochRows(victim));
+    pos_.erase(victim);
+    it = lru_.erase(it);
+    ++evictions_;
+  }
+  return Status::OK();
+}
+
+Status EpochLifecycleManager::OnEpochAdmitted(uint64_t epoch_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BumpLocked(epoch_id);
+  return EvictBeyondCapLocked({epoch_id});
+}
+
+bool EpochLifecycleManager::ResidentForQuery(const Query& query) const {
+  for (uint64_t eid : provider_->EpochIdsForQuery(query)) {
+    if (!provider_->EpochRowsResident(eid)) return false;
+  }
+  return true;
+}
+
+Status EpochLifecycleManager::EnsureResidentForQuery(const Query& query) {
+  const std::vector<uint64_t> needed = provider_->EpochIdsForQuery(query);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t eid : needed) {
+    if (!provider_->EpochRowsResident(eid)) {
+      CONCEALER_RETURN_IF_ERROR(provider_->LoadEpochRows(eid));
+      ++loads_;
+    }
+    BumpLocked(eid);
+  }
+  return EvictBeyondCapLocked(needed);
+}
+
+void EpochLifecycleManager::TouchForQuery(const Query& query) {
+  const std::vector<uint64_t> needed = provider_->EpochIdsForQuery(query);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t eid : needed) BumpLocked(eid);
+}
+
+EpochLifecycleManager::Stats EpochLifecycleManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.loads = loads_;
+  stats.evictions = evictions_;
+  stats.resident_epochs = lru_.size();
+  return stats;
+}
+
+}  // namespace concealer

@@ -1,0 +1,89 @@
+#ifndef CONCEALER_SERVICE_EPOCH_LIFECYCLE_H_
+#define CONCEALER_SERVICE_EPOCH_LIFECYCLE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "concealer/service_provider.h"
+#include "concealer/types.h"
+
+namespace concealer {
+
+/// Tiered epoch lifecycle for a tenant's table: a production service
+/// accrues epochs indefinitely (one per collection period, paper §2.2), but
+/// queries concentrate on recent data — so the manager keeps a bounded hot
+/// set of epochs row-resident and evicts the coldest to disk, reloading
+/// them on demand through the storage engine's segment hooks
+/// (SegmentEngine unmaps the epoch's segment range and drops its row
+/// table; the enclave-side EpochState meta-index stays resident either
+/// way, mirroring §6's "meta-index kept at the trusted entity").
+///
+/// Locking contract (enforced by QueryService, the only caller):
+///  - ResidentForQuery / TouchForQuery run under the SHARED epoch lock —
+///    they never change residency (Touch only reorders the LRU list under
+///    the internal mutex).
+///  - OnEpochAdmitted / EnsureResidentForQuery change residency and must
+///    run under the EXCLUSIVE epoch lock (ingest and the cold-query path
+///    already hold it).
+///
+/// With the in-memory engine every epoch is trivially resident and the
+/// manager degenerates to bookkeeping — the fetch path is engine-agnostic.
+class EpochLifecycleManager {
+ public:
+  struct Options {
+    /// Maximum epochs kept row-resident; 0 = unbounded (no eviction).
+    size_t max_hot_epochs = 0;
+  };
+
+  EpochLifecycleManager(ServiceProvider* provider, Options options)
+      : provider_(provider), options_(options) {}
+
+  EpochLifecycleManager(const EpochLifecycleManager&) = delete;
+  EpochLifecycleManager& operator=(const EpochLifecycleManager&) = delete;
+
+  /// Marks a freshly ingested (or restart-recovered) epoch hottest and
+  /// evicts beyond the cap. Exclusive epoch lock required.
+  Status OnEpochAdmitted(uint64_t epoch_id);
+
+  /// True iff every epoch the query touches has resident rows.
+  bool ResidentForQuery(const Query& query) const;
+
+  /// Reloads any cold epochs the query touches, bumps them hottest, then
+  /// evicts the coldest beyond the cap (never one this query needs).
+  /// Exclusive epoch lock required.
+  Status EnsureResidentForQuery(const Query& query);
+
+  /// LRU bump for a query's epochs (shared epoch lock; internal mutex).
+  void TouchForQuery(const Query& query);
+
+  struct Stats {
+    uint64_t loads = 0;      // Cold epochs reloaded on demand.
+    uint64_t evictions = 0;  // Epochs pushed out of the hot set.
+    size_t resident_epochs = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// Moves `epoch_id` to the LRU front, inserting if new. Caller holds mu_.
+  void BumpLocked(uint64_t epoch_id);
+  /// Evicts from the LRU back until within the cap, skipping `keep`.
+  /// Caller holds mu_ and the exclusive epoch lock.
+  Status EvictBeyondCapLocked(const std::vector<uint64_t>& keep);
+
+  ServiceProvider* provider_;
+  Options options_;
+  mutable std::mutex mu_;
+  /// Resident epochs only, hottest first.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> pos_;
+  uint64_t loads_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_SERVICE_EPOCH_LIFECYCLE_H_

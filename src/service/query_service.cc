@@ -1,6 +1,7 @@
 #include "service/query_service.h"
 
 #include <chrono>
+#include <cstdio>
 
 #include "concealer/wire.h"
 #include "crypto/kdf.h"
@@ -51,6 +52,25 @@ QueryService::QueryService(std::unique_ptr<ServiceProvider> provider,
         options_.cache_shards, options_.cache_max_entries);
     provider_->set_work_cache(work_cache_.get());
   }
+  // Epoch tiering engages for segment-backed providers (mmap engine) or an
+  // explicit hot cap; the plain in-memory provider needs neither.
+  if (provider_->storage_options().engine == StorageOptions::Engine::kMmap ||
+      options_.max_hot_epochs > 0) {
+    lifecycle_ = std::make_unique<EpochLifecycleManager>(
+        provider_.get(),
+        EpochLifecycleManager::Options{options_.max_hot_epochs});
+    // A provider recovered via ServiceProvider::Open already holds epochs:
+    // admit them coldest-first (ascending id), so the most recent data
+    // stays hot and anything beyond the cap is evicted right away instead
+    // of ballooning the reopened process.
+    for (const EpochRowRange& range : provider_->EpochRowRanges()) {
+      Status st = lifecycle_->OnEpochAdmitted(range.epoch_id);
+      if (!st.ok()) {
+        std::fprintf(stderr, "[query_service] epoch admit failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+  }
   scheduler_ = std::make_unique<ThreadPool>(
       options_.scheduler_threads == 0 ? 1 : options_.scheduler_threads);
 }
@@ -64,7 +84,13 @@ Status QueryService::LoadRegistry(Slice encrypted_registry) {
 
 Status QueryService::IngestEpoch(const EncryptedEpoch& epoch) {
   std::unique_lock<std::shared_mutex> lock(epoch_mu_);
-  return provider_->IngestEpoch(epoch);
+  CONCEALER_RETURN_IF_ERROR(provider_->IngestEpoch(epoch));
+  // The fresh epoch enters the hot set; the coldest epoch beyond the cap
+  // is evicted here, under the exclusive lock ingest already holds.
+  if (lifecycle_ != nullptr) {
+    CONCEALER_RETURN_IF_ERROR(lifecycle_->OnEpochAdmitted(epoch.epoch_id));
+  }
+  return Status::OK();
 }
 
 void QueryService::set_dynamic_mode(bool on) {
@@ -106,6 +132,10 @@ StatusOr<QueryResult> QueryService::ExecuteAuthorized(const Query& query) {
       // if the mode flipped off meanwhile — a static query under the
       // exclusive lock is merely over-serialized.)
       std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+      if (lifecycle_ != nullptr) {
+        CONCEALER_RETURN_IF_ERROR(
+            lifecycle_->EnsureResidentForQuery(query));
+      }
       return provider_->Execute(query);
     }
     // Static mode never mutates epoch state (lazy plan builds are
@@ -116,6 +146,17 @@ StatusOr<QueryResult> QueryService::ExecuteAuthorized(const Query& query) {
     // unlocked snapshot above and our acquisition, retry exclusively
     // rather than run a rewriting query concurrently with readers.
     if (dynamic_mode_.load(std::memory_order_acquire)) continue;
+    if (lifecycle_ != nullptr && !lifecycle_->ResidentForQuery(query)) {
+      // Cold query: some epoch it needs was evicted. Residency changes
+      // need the exclusive lock (they invalidate concurrent readers'
+      // borrows), so reload + execute there — rare by construction, the
+      // hot set serves the common case under the shared lock.
+      lock.unlock();
+      std::unique_lock<std::shared_mutex> xlock(epoch_mu_);
+      CONCEALER_RETURN_IF_ERROR(lifecycle_->EnsureResidentForQuery(query));
+      return provider_->Execute(query);
+    }
+    if (lifecycle_ != nullptr) lifecycle_->TouchForQuery(query);
     return provider_->Execute(query);
   }
 }

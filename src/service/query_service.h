@@ -16,6 +16,7 @@
 #include "common/thread_pool.h"
 #include "concealer/service_provider.h"
 #include "concealer/types.h"
+#include "service/epoch_lifecycle.h"
 #include "service/session_manager.h"
 
 namespace concealer {
@@ -39,6 +40,11 @@ struct QueryServiceOptions {
   /// that accrue epochs for months; full shards are flushed and simply
   /// repopulate on demand.
   size_t cache_max_entries = 1 << 20;
+  /// Hot-epoch cap for segment-backed providers: at most this many epochs
+  /// keep their rows resident (mapped + row table); colder ones are
+  /// evicted to disk and reloaded on demand. 0 = unbounded. No effect on
+  /// the in-memory engine (see EpochLifecycleManager).
+  size_t max_hot_epochs = 0;
   /// Test hook: fake clock for session expiry (seconds, monotonic).
   SessionManager::Clock clock;
 };
@@ -131,6 +137,9 @@ class QueryService {
   /// is in flight is a data race — quiesce first.
   ServiceProvider* provider() { return provider_.get(); }
   const SessionManager& sessions() const { return sessions_; }
+  /// Null unless the provider runs a segment-backed engine (or a hot cap
+  /// was configured). Stats expose cold-load/eviction counts.
+  const EpochLifecycleManager* lifecycle() const { return lifecycle_.get(); }
 
   struct CacheStats {
     uint64_t trapdoor_hits = 0;
@@ -164,6 +173,9 @@ class QueryService {
   QueryServiceOptions options_;
   std::unique_ptr<ServiceProvider> provider_;
   std::unique_ptr<EnclaveWorkCache> work_cache_;  // Null when disabled.
+  /// Hot/cold epoch tiering over the provider's segment-backed engine;
+  /// null for plain in-memory providers with no hot cap.
+  std::unique_ptr<EpochLifecycleManager> lifecycle_;
   SessionManager sessions_;
   std::unique_ptr<ThreadPool> scheduler_;
 

@@ -59,6 +59,8 @@ size_t ChildIndex(const std::vector<Bytes>& keys, Slice key) {
 
 BPlusTree::BPlusTree() : root_(std::make_unique<Node>(/*leaf=*/true)) {}
 BPlusTree::~BPlusTree() = default;
+BPlusTree::BPlusTree(BPlusTree&&) noexcept = default;
+BPlusTree& BPlusTree::operator=(BPlusTree&&) noexcept = default;
 
 BPlusTree::SplitResult BPlusTree::InsertRecursive(Node* node, Slice key,
                                                   uint64_t row_id,

@@ -31,6 +31,10 @@ class BPlusTree {
 
   BPlusTree(const BPlusTree&) = delete;
   BPlusTree& operator=(const BPlusTree&) = delete;
+  /// Movable so a table can discard a half-loaded index and rebuild
+  /// (sidecar recovery falls back to a scan of the engine's rows).
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
 
   /// Inserts a key→row_id mapping. Fails with kInvalidArgument on duplicate
   /// keys (encrypted index values are unique by construction; a duplicate

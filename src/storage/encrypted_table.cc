@@ -2,21 +2,29 @@
 
 #include <utility>
 
+#include "common/coding.h"
+#include "concealer/epoch_io.h"
+#include "storage/row_store.h"
+
 namespace concealer {
 
 EncryptedTable::EncryptedTable(std::string name, size_t num_columns,
-                               size_t index_column)
+                               size_t index_column,
+                               std::unique_ptr<StorageEngine> engine)
     : name_(std::move(name)),
       num_columns_(num_columns),
-      index_column_(index_column) {}
+      index_column_(index_column),
+      store_(engine != nullptr ? std::move(engine)
+                               : std::make_unique<RowStore>()) {}
 
 Status EncryptedTable::Insert(Row row) {
   if (row.columns.size() != num_columns_) {
     return Status::InvalidArgument("row arity mismatch");
   }
-  const uint64_t row_id = store_.Append(std::move(row));
+  StatusOr<uint64_t> row_id = store_->Append(std::move(row));
+  if (!row_id.ok()) return row_id.status();
   CONCEALER_RETURN_IF_ERROR(
-      index_.Insert(store_.GetRef(row_id)->columns[index_column_], row_id));
+      index_.Insert(store_->GetRef(*row_id)->columns[index_column_], *row_id));
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.rows_inserted;
   return Status::OK();
@@ -35,15 +43,20 @@ void EncryptedTable::FetchRefs(const std::vector<Bytes>& keys,
   // batch: fetches run concurrently in the parallel query path, and the
   // B+-tree itself is read-only here.
   out->reserve(out->size() + keys.size());
+  const uint64_t generation = store_->generation();
   uint64_t hits = 0;
   uint64_t bytes = 0;
   for (const Bytes& key : keys) {
     StatusOr<uint64_t> row_id = index_.Get(key);
     if (!row_id.ok()) continue;
+    const Row* row = store_->GetRef(*row_id);
+    // A null ref for an indexed id means the row's segment is evicted; the
+    // lifecycle layer keeps queried epochs resident, so treat it like a
+    // miss rather than crash (debug builds assert upstream).
+    if (row == nullptr) continue;
     ++hits;
-    const Row* row = store_.GetRef(*row_id);
-    for (const Bytes& col : row->columns) bytes += col.size();
-    out->push_back(RowRef{*row_id, row});
+    bytes += RowByteSize(*row);
+    out->push_back(RowRef{*row_id, row, store_.get(), generation});
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.index_probes += keys.size();
@@ -58,7 +71,7 @@ std::vector<Row> EncryptedTable::FetchByIndexKeys(
   FetchRefs(keys, &refs);
   std::vector<Row> out;
   out.reserve(refs.size());
-  for (const RowRef& ref : refs) out.push_back(*ref.row);
+  for (const RowRef& ref : refs) out.push_back(*ref.get());
   return out;
 }
 
@@ -68,16 +81,18 @@ std::vector<std::pair<uint64_t, Row>> EncryptedTable::FetchWithIds(
   FetchRefs(keys, &refs);
   std::vector<std::pair<uint64_t, Row>> out;
   out.reserve(refs.size());
-  for (const RowRef& ref : refs) out.emplace_back(ref.row_id, *ref.row);
+  for (const RowRef& ref : refs) out.emplace_back(ref.row_id, *ref.get());
   return out;
 }
 
 void EncryptedTable::Scan(
     const std::function<bool(const Row&)>& visitor) const {
   uint64_t scanned = 0;
-  for (uint64_t id = 0; id < store_.size(); ++id) {
+  for (uint64_t id = 0; id < store_->size(); ++id) {
+    const Row* row = store_->GetRef(id);
+    if (row == nullptr) continue;  // Evicted segment.
     ++scanned;
-    if (!visitor(*store_.GetRef(id))) break;
+    if (!visitor(*row)) break;
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.rows_scanned += scanned;
@@ -92,15 +107,16 @@ Status EncryptedTable::ReindexRows(
     if (row.columns.size() != num_columns_) {
       return Status::InvalidArgument("row arity mismatch");
     }
-    const Row* old_row = store_.GetRef(row_id);
+    const Row* old_row = store_->GetRef(row_id);
     if (old_row == nullptr) return Status::NotFound("row id out of range");
     CONCEALER_RETURN_IF_ERROR(
         index_.Delete(old_row->columns[index_column_]));
   }
   for (const auto& [row_id, row] : rows) {
-    CONCEALER_RETURN_IF_ERROR(store_.Replace(row_id, row));
+    CONCEALER_RETURN_IF_ERROR(store_->Replace(row_id, row));
     CONCEALER_RETURN_IF_ERROR(
-        index_.Insert(store_.GetRef(row_id)->columns[index_column_], row_id));
+        index_.Insert(store_->GetRef(row_id)->columns[index_column_],
+                      row_id));
   }
   return Status::OK();
 }
@@ -111,7 +127,67 @@ Status EncryptedTable::ReplaceRows(
     if (row.columns.size() != num_columns_) {
       return Status::InvalidArgument("row arity mismatch");
     }
-    CONCEALER_RETURN_IF_ERROR(store_.Replace(row_id, row));
+    CONCEALER_RETURN_IF_ERROR(store_->Replace(row_id, row));
+  }
+  return Status::OK();
+}
+
+Status EncryptedTable::PersistIndex(const std::string& sidecar_path) const {
+  Bytes body;
+  PutFixed64(&body, store_->durable_generation());
+  PutFixed64(&body, index_.size());
+  index_.Scan([&](Slice key, uint64_t row_id) {
+    PutLengthPrefixed(&body, key);
+    PutFixed64(&body, row_id);
+    return true;
+  });
+  Bytes framed;
+  AppendFramedRecord(&framed, body);
+  return WriteFileBytes(sidecar_path, framed);
+}
+
+Status EncryptedTable::RecoverIndex(const std::string& sidecar_path) {
+  if (index_.size() != 0) {
+    return Status::FailedPrecondition("index already built");
+  }
+  // Fast path: a fresh sidecar (generation stamp matches the engine's
+  // durable record count) restores the index without touching row bytes.
+  StatusOr<Bytes> blob = ReadFileBytes(sidecar_path);
+  if (blob.ok()) {
+    size_t off = 0;
+    StatusOr<Slice> body = ReadFramedRecord(*blob, &off);
+    if (body.ok() && off == blob->size() && body->size() >= 16) {
+      const uint64_t stamp = DecodeFixed64(body->data());
+      const uint64_t count = DecodeFixed64(body->data() + 8);
+      if (stamp == store_->durable_generation()) {
+        size_t boff = 16;
+        bool ok = true;
+        for (uint64_t i = 0; i < count && ok; ++i) {
+          Slice key;
+          ok = GetLengthPrefixedView(*body, &boff, &key) &&
+               boff + 8 <= body->size();
+          if (!ok) break;
+          const uint64_t row_id = DecodeFixed64(body->data() + boff);
+          boff += 8;
+          ok = row_id < store_->size() && index_.Insert(key, row_id).ok();
+        }
+        if (ok && boff == body->size()) return Status::OK();
+      }
+    }
+    // Stale or mangled sidecar: fall through to the authoritative rebuild.
+    index_ = BPlusTree();
+  }
+  for (uint64_t id = 0; id < store_->size(); ++id) {
+    const Row* row = store_->GetRef(id);
+    if (row == nullptr) {
+      return Status::FailedPrecondition(
+          "cannot rebuild index with evicted segments");
+    }
+    if (row->columns.size() != num_columns_) {
+      return Status::Corruption("recovered row arity mismatch");
+    }
+    CONCEALER_RETURN_IF_ERROR(
+        index_.Insert(row->columns[index_column_], id));
   }
   return Status::OK();
 }

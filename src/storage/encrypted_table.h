@@ -1,8 +1,10 @@
 #ifndef CONCEALER_STORAGE_ENCRYPTED_TABLE_H_
 #define CONCEALER_STORAGE_ENCRYPTED_TABLE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -10,7 +12,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "storage/bplus_tree.h"
-#include "storage/row_store.h"
+#include "storage/storage_engine.h"
 
 namespace concealer {
 
@@ -27,24 +29,45 @@ struct TableStats {
   uint64_t rows_inserted = 0;
 };
 
-/// A fetched row borrowed from the table's row store: the id plus a
-/// non-owning pointer. Valid until the next Insert/InsertBatch (the store
-/// may reallocate) or Replace/Reindex of that id; the query path reads
-/// under the epoch-level shared lock, where neither happens.
+/// A fetched row borrowed from the table's storage engine: the id, a
+/// non-owning pointer, and the engine generation at fetch time. Valid until
+/// the engine's generation moves — Insert/InsertBatch (the store may
+/// reallocate), Replace/Reindex of that id, and segment evict/load all bump
+/// it; the query path reads under the epoch-level shared lock, where none
+/// of these happen.
+///
+/// Read through `get()`: in debug builds it asserts the borrow is still
+/// valid (`stale()` is the always-available check tests use).
 struct RowRef {
   uint64_t row_id = 0;
   const Row* row = nullptr;
+  const StorageEngine* engine = nullptr;
+  uint64_t generation = 0;
+
+  /// True iff the engine has invalidated this borrow since it was handed
+  /// out.
+  bool stale() const {
+    return engine != nullptr && generation != engine->generation();
+  }
+  /// Checked access: asserts freshness in debug builds.
+  const Row* get() const {
+    assert(!stale() && "RowRef read after invalidation");
+    return row;
+  }
 };
 
-/// The untrusted DBMS at the service provider: an append-only row heap plus
-/// a B+-tree over the designated `Index` column. Mirrors how the paper uses
+/// The untrusted DBMS at the service provider: a pluggable row heap
+/// (StorageEngine — in-memory or mmap-backed persistent segments) plus a
+/// B+-tree over the designated `Index` column. Mirrors how the paper uses
 /// MySQL — the engine never sees plaintext and supports only (a) bulk
 /// insertion of encrypted epochs, (b) exact-match fetch by a batch of
 /// trapdoors, and (c) full scans (used by the Opaque baseline).
 class EncryptedTable {
  public:
-  /// `num_columns` includes the index column; `index_column` is its ordinal.
-  EncryptedTable(std::string name, size_t num_columns, size_t index_column);
+  /// `num_columns` includes the index column; `index_column` is its
+  /// ordinal. A null `engine` gets the in-memory heap (RowStore).
+  EncryptedTable(std::string name, size_t num_columns, size_t index_column,
+                 std::unique_ptr<StorageEngine> engine = nullptr);
 
   EncryptedTable(const EncryptedTable&) = delete;
   EncryptedTable& operator=(const EncryptedTable&) = delete;
@@ -62,7 +85,8 @@ class EncryptedTable {
   /// and reporting which trapdoors missed would be a leak the enclave does
   /// not rely on). This is the query path's primitive: one capacity
   /// reservation, no row copies — the decrypt/verify loop reads the stored
-  /// ciphertext bytes in place. See RowRef for the borrow rules.
+  /// ciphertext bytes in place (for the mmap engine, straight out of the
+  /// mapped segment). See RowRef for the borrow rules.
   void FetchRefs(const std::vector<Bytes>& keys,
                  std::vector<RowRef>* out) const;
 
@@ -76,7 +100,7 @@ class EncryptedTable {
       const std::vector<Bytes>& keys) const;
 
   /// Full scan in row-id order (Opaque baseline). Visitor returns false to
-  /// stop.
+  /// stop. Skips rows whose segment is evicted.
   void Scan(const std::function<bool(const Row&)>& visitor) const;
 
   /// Overwrites rows in place without touching the index (the new rows must
@@ -88,11 +112,29 @@ class EncryptedTable {
   /// inserts the new ones.
   Status ReindexRows(const std::vector<std::pair<uint64_t, Row>>& rows);
 
+  // --- Index persistence (persistent engines) -------------------------
+
+  /// Rebuilds the B+-tree after the engine was re-opened from disk: loads
+  /// the sidecar written by PersistIndex if it is present and fresh (its
+  /// engine-generation stamp matches), else re-scans the engine's rows.
+  /// All rows must be resident. Call once, before serving queries.
+  Status RecoverIndex(const std::string& sidecar_path);
+
+  /// Writes the index sidecar: every (key, row_id) pair, stamped with the
+  /// engine generation so a stale sidecar (rows appended or rewritten
+  /// after the dump) is detected and ignored at recovery.
+  Status PersistIndex(const std::string& sidecar_path) const;
+
   const std::string& name() const { return name_; }
   size_t num_columns() const { return num_columns_; }
   size_t index_column() const { return index_column_; }
-  uint64_t num_rows() const { return store_.size(); }
-  uint64_t TotalBytes() const { return store_.TotalBytes(); }
+  uint64_t num_rows() const { return store_->size(); }
+  uint64_t TotalBytes() const { return store_->TotalBytes(); }
+
+  /// The underlying row heap. Mutating through it bypasses the index —
+  /// reserved for the storage-lifecycle paths (seal/evict/load/sync).
+  StorageEngine* engine() { return store_.get(); }
+  const StorageEngine& engine() const { return *store_; }
 
   /// Snapshot of the cumulative counters. Fetches run concurrently in the
   /// parallel query path, so reads go through the same lock the fetch paths
@@ -110,7 +152,7 @@ class EncryptedTable {
   std::string name_;
   size_t num_columns_;
   size_t index_column_;
-  RowStore store_;
+  std::unique_ptr<StorageEngine> store_;
   BPlusTree index_;
   mutable std::mutex stats_mu_;
   mutable TableStats stats_;

@@ -2,17 +2,10 @@
 
 namespace concealer {
 
-namespace {
-uint64_t RowBytes(const Row& row) {
-  uint64_t n = 0;
-  for (const auto& col : row.columns) n += col.size();
-  return n;
-}
-}  // namespace
-
-uint64_t RowStore::Append(Row row) {
-  total_bytes_ += RowBytes(row);
+StatusOr<uint64_t> RowStore::Append(Row row) {
+  total_bytes_ += RowByteSize(row);
   rows_.push_back(std::move(row));
+  ++generation_;
   return rows_.size() - 1;
 }
 
@@ -32,9 +25,10 @@ Status RowStore::Replace(uint64_t row_id, Row row) {
   if (row_id >= rows_.size()) {
     return Status::NotFound("row id out of range");
   }
-  total_bytes_ -= RowBytes(rows_[row_id]);
-  total_bytes_ += RowBytes(row);
+  total_bytes_ -= RowByteSize(rows_[row_id]);
+  total_bytes_ += RowByteSize(row);
   rows_[row_id] = std::move(row);
+  ++generation_;
   return Status::OK();
 }
 

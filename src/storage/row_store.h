@@ -6,50 +6,41 @@
 
 #include "common/slice.h"
 #include "common/status.h"
+#include "storage/row.h"
+#include "storage/storage_engine.h"
 
 namespace concealer {
 
-/// A stored row: the ordered encrypted column values of one tuple.
-/// For the WiFi schema this is ⟨El, Eo, Er, Index⟩ (Table 2c); for TPC-H,
-/// filter columns + value column + Index. The storage layer treats every
-/// column as an opaque byte string.
-struct Row {
-  std::vector<Bytes> columns;
-};
-
-/// Append-only heap of rows addressed by dense 64-bit row ids — the table
-/// storage underneath the B+-tree index (a deliberately simple stand-in for
-/// the DBMS heap file). Rows are immutable once appended except through
-/// `Replace`, which the dynamic-insertion path uses to overwrite a round's
-/// re-encrypted tuples in place (paper §6 step iii).
-class RowStore {
+/// The in-memory StorageEngine: an append-only heap of rows addressed by
+/// dense 64-bit row ids — the original table storage underneath the
+/// B+-tree index (a deliberately simple stand-in for the DBMS heap file),
+/// extracted behind the engine interface behavior-identical. Rows are
+/// immutable once appended except through `Replace`, which the
+/// dynamic-insertion path uses to overwrite a round's re-encrypted tuples
+/// in place (paper §6 step iii).
+class RowStore : public StorageEngine {
  public:
   RowStore() = default;
 
   RowStore(const RowStore&) = delete;
   RowStore& operator=(const RowStore&) = delete;
 
-  /// Appends a row; returns its row id.
-  uint64_t Append(Row row);
+  StatusOr<uint64_t> Append(Row row) override;
+  StatusOr<Row> Get(uint64_t row_id) const override;
+  const Row* GetRef(uint64_t row_id) const override;
+  Status Replace(uint64_t row_id, Row row) override;
 
-  /// Fetches a row by id.
-  StatusOr<Row> Get(uint64_t row_id) const;
-
-  /// Borrowed access (no copy); invalidated by Append/Replace.
-  const Row* GetRef(uint64_t row_id) const;
-
-  /// Overwrites an existing row (dynamic insertion re-encryption).
-  Status Replace(uint64_t row_id, Row row);
-
-  uint64_t size() const { return rows_.size(); }
-
-  /// Total bytes across all stored columns (storage-size accounting for the
-  /// setup-leakage experiments).
-  uint64_t TotalBytes() const { return total_bytes_; }
+  uint64_t size() const override { return rows_.size(); }
+  uint64_t TotalBytes() const override { return total_bytes_; }
+  uint64_t generation() const override { return generation_; }
+  const char* name() const override { return "memory"; }
 
  private:
   std::vector<Row> rows_;
   uint64_t total_bytes_ = 0;
+  /// Borrow-invalidation counter (see StorageEngine): one bump per
+  /// Append/Replace, i.e. the record count a persistent engine would have.
+  uint64_t generation_ = 0;
 };
 
 }  // namespace concealer

@@ -1,0 +1,488 @@
+#include "storage/segment_engine.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/coding.h"
+#include "concealer/epoch_io.h"
+#include "storage/row_store.h"
+
+namespace concealer {
+
+namespace {
+
+constexpr char kSegPrefix[] = "seg-";
+constexpr char kSegSuffix[] = ".seg";
+
+std::string SegmentPath(const std::string& dir, uint32_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06u.seg", index);
+  return dir + "/" + name;
+}
+
+size_t PageRoundUp(size_t n) {
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  return (n + page - 1) / page * page;
+}
+
+Status MkdirRecursive(const std::string& dir) {
+  std::string path;
+  for (size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') continue;
+    path = dir.substr(0, i == dir.size() ? i : i + 1);
+    if (path.empty() || path == "/") continue;
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("mkdir failed: " + path + ": " +
+                              std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+// Serialized record body for one row version.
+void SerializeRowBody(uint64_t row_id, const Row& row, Bytes* body) {
+  body->clear();
+  size_t need = 8 + 4;
+  for (const Column& col : row.columns) need += 4 + col.size();
+  body->reserve(need);
+  PutFixed64(body, row_id);
+  PutFixed32(body, static_cast<uint32_t>(row.columns.size()));
+  for (const Column& col : row.columns) PutLengthPrefixed(body, col);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SegmentEngine>> SegmentEngine::Open(Options options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("segment engine needs a directory");
+  }
+  if (options.segment_bytes == 0) options.segment_bytes = 8ull << 20;
+  CONCEALER_RETURN_IF_ERROR(MkdirRecursive(options.dir));
+
+  std::unique_ptr<SegmentEngine> engine(new SegmentEngine(std::move(options)));
+
+  // Collect existing segment files and recover them in index order.
+  std::vector<uint32_t> indexes;
+  DIR* d = ::opendir(engine->options_.dir.c_str());
+  if (d == nullptr) {
+    return Status::Internal("cannot open segment dir: " + engine->options_.dir);
+  }
+  while (dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name.size() != 14 || name.compare(0, 4, kSegPrefix) != 0 ||
+        name.compare(10, 4, kSegSuffix) != 0) {
+      continue;
+    }
+    indexes.push_back(
+        static_cast<uint32_t>(std::strtoul(name.c_str() + 4, nullptr, 10)));
+  }
+  ::closedir(d);
+  std::sort(indexes.begin(), indexes.end());
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    if (indexes[i] != i) {
+      return Status::Corruption("segment files not dense: missing seg " +
+                                std::to_string(i));
+    }
+  }
+
+  for (uint32_t index = 0; index < indexes.size(); ++index) {
+    Segment seg;
+    seg.path = SegmentPath(engine->options_.dir, index);
+    const int fd = ::open(seg.path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::Internal("cannot open " + seg.path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::Internal("cannot stat " + seg.path);
+    }
+    seg.map_len = static_cast<size_t>(st.st_size);
+    if (seg.map_len > 0) {
+      void* map =
+          ::mmap(nullptr, seg.map_len, PROT_READ, MAP_SHARED, fd, 0);
+      if (map == MAP_FAILED) {
+        ::close(fd);
+        return Status::Internal("mmap failed for " + seg.path);
+      }
+      seg.map = static_cast<uint8_t*>(map);
+    }
+    ::close(fd);
+    // Every recovered segment is treated as sealed: new appends start a
+    // fresh segment, which keeps the epoch<->segment-range alignment the
+    // lifecycle layer relies on across restarts.
+    seg.sealed = true;
+    seg.resident = true;
+    engine->segments_.push_back(std::move(seg));
+    CONCEALER_RETURN_IF_ERROR(engine->ReplaySegment(index, /*restore=*/false));
+    // A crash before SealActiveLocked leaves the preallocated zero tail on
+    // disk. Normalize to the sealed-segment invariant (file size == tail)
+    // now, so a later evict/reload round-trips cleanly.
+    Segment& recovered = engine->segments_.back();
+    if (recovered.map_len > recovered.tail) {
+      const int wfd = ::open(recovered.path.c_str(), O_RDWR);
+      if (wfd < 0 ||
+          ::ftruncate(wfd, static_cast<off_t>(recovered.tail)) != 0) {
+        if (wfd >= 0) ::close(wfd);
+        return Status::Internal("cannot truncate recovered segment " +
+                                recovered.path);
+      }
+      ::close(wfd);
+      const size_t keep = PageRoundUp(recovered.tail);
+      if (keep < recovered.map_len) {
+        ::munmap(recovered.map + keep, recovered.map_len - keep);
+        recovered.map_len = keep;
+        if (keep == 0) recovered.map = nullptr;
+      }
+    }
+  }
+  return engine;
+}
+
+SegmentEngine::~SegmentEngine() {
+  (void)SealActiveLocked();  // Truncates the active file to its tail.
+  for (Segment& seg : segments_) {
+    if (seg.map != nullptr) ::munmap(seg.map, seg.map_len);
+    if (seg.fd >= 0) ::close(seg.fd);
+    if (options_.remove_on_close) ::unlink(seg.path.c_str());
+  }
+  if (options_.remove_on_close) ::rmdir(options_.dir.c_str());
+}
+
+Status SegmentEngine::NewSegment(size_t min_capacity) {
+  const uint32_t index = static_cast<uint32_t>(segments_.size());
+  Segment seg;
+  seg.path = SegmentPath(options_.dir, index);
+  seg.fd = ::open(seg.path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+  if (seg.fd < 0) {
+    return Status::Internal("cannot create segment " + seg.path + ": " +
+                            std::strerror(errno));
+  }
+  seg.map_len = PageRoundUp(std::max<size_t>(options_.segment_bytes,
+                                             min_capacity));
+  if (::ftruncate(seg.fd, static_cast<off_t>(seg.map_len)) != 0) {
+    ::close(seg.fd);
+    return Status::Internal("cannot preallocate " + seg.path);
+  }
+  void* map = ::mmap(nullptr, seg.map_len, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     seg.fd, 0);
+  if (map == MAP_FAILED) {
+    ::close(seg.fd);
+    return Status::Internal("mmap failed for " + seg.path);
+  }
+  seg.map = static_cast<uint8_t*>(map);
+  segments_.push_back(std::move(seg));
+  return Status::OK();
+}
+
+Status SegmentEngine::EnsureActiveCapacity(size_t framed) {
+  if (!segments_.empty() && !segments_.back().sealed) {
+    Segment& active = segments_.back();
+    if (active.tail + framed <= active.map_len) return Status::OK();
+    CONCEALER_RETURN_IF_ERROR(SealActiveLocked());
+  }
+  return NewSegment(framed);
+}
+
+Status SegmentEngine::WriteRecord(uint64_t row_id, const Row& row, RowLoc* loc,
+                                  Row* borrowed) {
+  Bytes body;
+  SerializeRowBody(row_id, row, &body);
+  const size_t framed = FramedSize(body.size());
+  CONCEALER_RETURN_IF_ERROR(EnsureActiveCapacity(framed));
+  Segment& active = segments_.back();
+  WriteFramedRecordTo(active.map + active.tail, body);
+  loc->seg = static_cast<uint32_t>(segments_.size() - 1);
+  loc->off = active.tail;
+  size_t off = active.tail;
+  uint64_t parsed_id = 0;
+  CONCEALER_RETURN_IF_ERROR(ParseRecordAt(active, &off, &parsed_id, borrowed));
+  active.tail = off;
+  active.row_ids.push_back(row_id);
+  return Status::OK();
+}
+
+Status SegmentEngine::ParseRecordAt(const Segment& seg, size_t* off,
+                                    uint64_t* row_id, Row* borrowed) const {
+  StatusOr<Slice> body =
+      ReadFramedRecord(Slice(seg.map, seg.map_len), off);
+  if (!body.ok()) return body.status();
+  if (body->size() < 12) return Status::Corruption("row record truncated");
+  *row_id = DecodeFixed64(body->data());
+  const uint32_t cols = DecodeFixed32(body->data() + 8);
+  if (cols > 64) return Status::Corruption("implausible column count");
+  size_t boff = 12;
+  borrowed->columns.clear();
+  borrowed->columns.reserve(cols);
+  for (uint32_t c = 0; c < cols; ++c) {
+    Slice col;
+    if (!GetLengthPrefixedView(*body, &boff, &col)) {
+      return Status::Corruption("row record truncated in columns");
+    }
+    borrowed->columns.push_back(Column::Borrowed(col.data(), col.size()));
+  }
+  if (boff != body->size()) {
+    return Status::Corruption("trailing bytes in row record");
+  }
+  return Status::OK();
+}
+
+Status SegmentEngine::ReplaySegment(uint32_t index, bool restore) {
+  Segment& seg = segments_[index];
+  size_t off = 0;
+  while (off < seg.map_len) {
+    const size_t record_off = off;
+    uint64_t row_id = 0;
+    Row borrowed;
+    Status st = ParseRecordAt(seg, &off, &row_id, &borrowed);
+    if (st.IsNotFound()) break;  // Clean zero-filled tail.
+    if (!st.ok()) {
+      if (!restore && index + 1 == segments_.size()) {
+        // A torn final write (crash mid-append) truncates the log here;
+        // anything corrupt before the last segment is real damage.
+        std::fprintf(stderr,
+                     "[segment_engine] %s: truncating at torn record "
+                     "(offset %zu): %s\n",
+                     seg.path.c_str(), record_off, st.ToString().c_str());
+        off = record_off;
+        break;
+      }
+      return st;
+    }
+    if (restore) {
+      // Only re-point rows whose current record still lives here; rows a
+      // later Replace moved elsewhere keep their newer bytes.
+      if (row_id < locs_.size() && locs_[row_id].seg == index &&
+          locs_[row_id].off == record_off) {
+        rows_[row_id] = std::move(borrowed);
+      }
+      continue;
+    }
+    const uint32_t bytes = static_cast<uint32_t>(RowByteSize(borrowed));
+    if (row_id == rows_.size()) {
+      rows_.push_back(std::move(borrowed));
+      locs_.push_back(RowLoc{index, record_off});
+      row_bytes_.push_back(bytes);
+      total_bytes_ += bytes;
+    } else if (row_id < rows_.size()) {
+      total_bytes_ -= row_bytes_[row_id];
+      total_bytes_ += bytes;
+      row_bytes_[row_id] = bytes;
+      rows_[row_id] = std::move(borrowed);
+      locs_[row_id] = RowLoc{index, record_off};
+    } else {
+      return Status::Corruption("row record out of append order");
+    }
+    seg.row_ids.push_back(row_id);
+    ++generation_;
+    ++records_;
+  }
+  seg.tail = off;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> SegmentEngine::Append(Row row) {
+  const uint64_t row_id = rows_.size();
+  RowLoc loc;
+  Row borrowed;
+  CONCEALER_RETURN_IF_ERROR(WriteRecord(row_id, row, &loc, &borrowed));
+  const uint32_t bytes = static_cast<uint32_t>(RowByteSize(borrowed));
+  rows_.push_back(std::move(borrowed));
+  locs_.push_back(loc);
+  row_bytes_.push_back(bytes);
+  total_bytes_ += bytes;
+  ++generation_;
+  ++records_;
+  return row_id;
+}
+
+StatusOr<Row> SegmentEngine::Get(uint64_t row_id) const {
+  const Row* ref = GetRef(row_id);
+  if (ref == nullptr) {
+    if (row_id < rows_.size()) {
+      return Status::FailedPrecondition("row's segment is evicted");
+    }
+    return Status::NotFound("row id out of range");
+  }
+  return *ref;  // Copying a borrowed row materializes owned columns.
+}
+
+const Row* SegmentEngine::GetRef(uint64_t row_id) const {
+  if (row_id >= rows_.size()) return nullptr;
+  if (!segments_[locs_[row_id].seg].resident) return nullptr;
+  return &rows_[row_id];
+}
+
+Status SegmentEngine::Replace(uint64_t row_id, Row row) {
+  if (row_id >= rows_.size()) {
+    return Status::NotFound("row id out of range");
+  }
+  RowLoc loc;
+  Row borrowed;
+  CONCEALER_RETURN_IF_ERROR(WriteRecord(row_id, row, &loc, &borrowed));
+  const uint32_t bytes = static_cast<uint32_t>(RowByteSize(borrowed));
+  total_bytes_ -= row_bytes_[row_id];
+  total_bytes_ += bytes;
+  row_bytes_[row_id] = bytes;
+  rows_[row_id] = std::move(borrowed);
+  locs_[row_id] = loc;
+  ++generation_;
+  ++records_;
+  return Status::OK();
+}
+
+Status SegmentEngine::SealActiveLocked() {
+  if (segments_.empty() || segments_.back().sealed) return Status::OK();
+  Segment& seg = segments_.back();
+  if (seg.tail > 0 &&
+      ::msync(seg.map, seg.tail, MS_SYNC) != 0) {
+    return Status::Internal("msync failed for " + seg.path);
+  }
+  if (::ftruncate(seg.fd, static_cast<off_t>(seg.tail)) != 0) {
+    return Status::Internal("cannot truncate " + seg.path);
+  }
+  // Release the unused preallocated address range; the mapped prefix (all
+  // borrowed rows point below tail) stays exactly where it is.
+  const size_t keep = PageRoundUp(seg.tail);
+  if (keep < seg.map_len) {
+    ::munmap(seg.map + keep, seg.map_len - keep);
+    seg.map_len = keep;
+    if (keep == 0) seg.map = nullptr;
+  }
+  ::close(seg.fd);
+  seg.fd = -1;
+  seg.sealed = true;
+  return Status::OK();
+}
+
+Status SegmentEngine::SealSegment() { return SealActiveLocked(); }
+
+Status SegmentEngine::Sync() {
+  if (segments_.empty() || segments_.back().sealed) return Status::OK();
+  Segment& seg = segments_.back();
+  if (seg.tail > 0 && ::msync(seg.map, seg.tail, MS_SYNC) != 0) {
+    return Status::Internal("msync failed for " + seg.path);
+  }
+  return Status::OK();
+}
+
+Status SegmentEngine::EvictSegments(uint32_t lo, uint32_t hi) {
+  if (lo > hi || hi >= segments_.size()) {
+    return Status::InvalidArgument("bad segment range");
+  }
+  for (uint32_t i = lo; i <= hi; ++i) {
+    Segment& seg = segments_[i];
+    if (!seg.sealed) {
+      return Status::FailedPrecondition("cannot evict the active segment");
+    }
+    if (!seg.resident) continue;
+    for (uint64_t id : seg.row_ids) {
+      if (locs_[id].seg == i) rows_[id].columns.clear();
+    }
+    if (seg.map != nullptr) ::munmap(seg.map, seg.map_len);
+    seg.map = nullptr;
+    seg.resident = false;
+  }
+  ++generation_;
+  return Status::OK();
+}
+
+Status SegmentEngine::LoadSegments(uint32_t lo, uint32_t hi) {
+  if (lo > hi || hi >= segments_.size()) {
+    return Status::InvalidArgument("bad segment range");
+  }
+  for (uint32_t i = lo; i <= hi; ++i) {
+    Segment& seg = segments_[i];
+    if (seg.resident) continue;
+    const int fd = ::open(seg.path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::Internal("cannot reopen " + seg.path);
+    struct stat st;
+    // Shrinking below the replayed tail loses records; extra bytes past it
+    // (e.g. slack a crash left behind) are benign — the map covers tail.
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<size_t>(st.st_size) < seg.tail) {
+      ::close(fd);
+      return Status::Corruption("segment shrank while evicted: " + seg.path);
+    }
+    seg.map_len = seg.tail;
+    void* map = seg.map_len == 0
+                    ? nullptr
+                    : ::mmap(nullptr, seg.map_len, PROT_READ, MAP_SHARED, fd,
+                             0);
+    ::close(fd);
+    if (map == MAP_FAILED) {
+      return Status::Internal("mmap failed for " + seg.path);
+    }
+    seg.map = static_cast<uint8_t*>(map);
+    seg.resident = true;
+    CONCEALER_RETURN_IF_ERROR(ReplaySegment(i, /*restore=*/true));
+  }
+  ++generation_;
+  return Status::OK();
+}
+
+bool SegmentEngine::SegmentsResident(uint32_t lo, uint32_t hi) const {
+  if (lo > hi || hi >= segments_.size()) return false;
+  for (uint32_t i = lo; i <= hi; ++i) {
+    if (!segments_[i].resident) return false;
+  }
+  return true;
+}
+
+bool SegmentEngine::IsMapped(const uint8_t* p) const {
+  for (const Segment& seg : segments_) {
+    if (seg.resident && seg.map != nullptr && p >= seg.map &&
+        p < seg.map + seg.tail) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- Engine selection -----------------------------------------------------
+
+StorageOptions StorageOptions::FromEnv() {
+  StorageOptions options;
+  const char* env = std::getenv("CONCEALER_STORAGE_ENGINE");
+  if (env != nullptr && std::strcmp(env, "mmap") == 0) {
+    options.engine = Engine::kMmap;
+  }
+  return options;
+}
+
+StatusOr<std::unique_ptr<StorageEngine>> MakeStorageEngine(
+    const StorageOptions& options) {
+  if (options.engine == StorageOptions::Engine::kMemory) {
+    return std::unique_ptr<StorageEngine>(new RowStore());
+  }
+  SegmentEngine::Options seg_options;
+  seg_options.segment_bytes = options.segment_bytes;
+  if (options.dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string tmpl =
+        std::string(tmp != nullptr ? tmp : "/tmp") + "/concealer-seg-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) == nullptr) {
+      return Status::Internal("mkdtemp failed for ephemeral segment dir");
+    }
+    seg_options.dir = buf.data();
+    seg_options.remove_on_close = true;
+  } else {
+    seg_options.dir = options.dir;
+  }
+  StatusOr<std::unique_ptr<SegmentEngine>> engine =
+      SegmentEngine::Open(std::move(seg_options));
+  if (!engine.ok()) return engine.status();
+  return std::unique_ptr<StorageEngine>(std::move(*engine));
+}
+
+}  // namespace concealer

@@ -1,0 +1,144 @@
+#ifndef CONCEALER_STORAGE_SEGMENT_ENGINE_H_
+#define CONCEALER_STORAGE_SEGMENT_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/storage_engine.h"
+
+namespace concealer {
+
+/// Persistent StorageEngine: append-only segment files under one directory,
+/// each mmap'd into the process, holding the serialized encrypted rows in
+/// the same magic/version/FNV frame the epoch shipment uses (epoch_io.h) —
+/// one framed record per row version.
+///
+///   <dir>/seg-000000.seg   sealed (read-only map, truncated to its tail)
+///   <dir>/seg-000001.seg   ...
+///   <dir>/seg-00000N.seg   active (read-write map, preallocated, appended
+///                          in place; the zero-filled tail marks the end)
+///
+/// Record body: row_id (8) | num_cols (4) | { len (4) | bytes }* — a
+/// Replace appends a new version of the row id to the active segment; the
+/// latest record for an id wins, which is also exactly what the recovery
+/// scan replays after a restart.
+///
+/// Zero-copy: the per-row Row kept in memory holds *borrowed* Columns
+/// pointing straight into the mapped region, so GetRef hands the
+/// decrypt/verify loop the stored ciphertext in place — same contract as
+/// the in-memory engine, same bytes, no heap copies of row data.
+///
+/// Epoch alignment: the lifecycle layer calls SealSegment() after each
+/// ingested epoch, so an epoch occupies a contiguous segment range that
+/// EvictSegments/LoadSegments can drop and restore wholesale (hot/cold
+/// tiering). Rows a later dynamic-mode Replace moved into a newer segment
+/// stay resident through an evict of their birth range — eviction goes by
+/// each row's *current* record location.
+///
+/// Thread safety: same contract as the in-memory engine — concurrent const
+/// reads are safe; Append/Replace/Seal/Evict/Load/Sync require external
+/// exclusive synchronization (the service layer's epoch-level lock).
+class SegmentEngine : public StorageEngine {
+ public:
+  struct Options {
+    std::string dir;  // Created if absent. Required.
+    /// Preallocated capacity of one segment file; a row larger than this
+    /// gets a dedicated oversized segment.
+    uint64_t segment_bytes = 8ull << 20;
+    /// Ephemeral mode: unlink every file and remove the directory on
+    /// destruction (benches/tests that only want mmap semantics).
+    bool remove_on_close = false;
+  };
+
+  /// Opens (and, if the directory already holds segments, recovers) an
+  /// engine. Recovery replays every record in segment order: appends build
+  /// the row table, replaces overwrite — ending with exactly the pre-crash
+  /// live rows and generation().
+  static StatusOr<std::unique_ptr<SegmentEngine>> Open(Options options);
+
+  ~SegmentEngine() override;
+
+  SegmentEngine(const SegmentEngine&) = delete;
+  SegmentEngine& operator=(const SegmentEngine&) = delete;
+
+  StatusOr<uint64_t> Append(Row row) override;
+  StatusOr<Row> Get(uint64_t row_id) const override;
+  const Row* GetRef(uint64_t row_id) const override;
+  Status Replace(uint64_t row_id, Row row) override;
+
+  uint64_t size() const override { return rows_.size(); }
+  uint64_t TotalBytes() const override { return total_bytes_; }
+  uint64_t generation() const override { return generation_; }
+  uint64_t durable_generation() const override { return records_; }
+  const char* name() const override { return "mmap"; }
+  bool persistent() const override { return !options_.remove_on_close; }
+
+  Status Sync() override;
+  uint32_t NumSegments() const override {
+    return static_cast<uint32_t>(segments_.size());
+  }
+  Status SealSegment() override;
+  Status EvictSegments(uint32_t lo, uint32_t hi) override;
+  Status LoadSegments(uint32_t lo, uint32_t hi) override;
+  bool SegmentsResident(uint32_t lo, uint32_t hi) const override;
+
+  /// True iff `p` points into a currently mapped segment — the test hook
+  /// asserting that borrowed columns really live in the mapped region.
+  bool IsMapped(const uint8_t* p) const;
+
+  const std::string& dir() const { return options_.dir; }
+
+ private:
+  struct Segment {
+    std::string path;
+    int fd = -1;            // Open only while active.
+    uint8_t* map = nullptr;
+    size_t map_len = 0;     // Length of the mapping (file capacity).
+    size_t tail = 0;        // End of the last record.
+    bool sealed = false;
+    bool resident = true;
+    /// Row ids that ever had a record written to this segment (a Replace
+    /// may have moved some elsewhere since; evict/load re-checks locs_).
+    std::vector<uint64_t> row_ids;
+  };
+
+  /// Current record location of a live row.
+  struct RowLoc {
+    uint32_t seg = 0;
+    uint64_t off = 0;  // Frame start within the segment.
+  };
+
+  explicit SegmentEngine(Options options) : options_(std::move(options)) {}
+
+  /// Ensures the active segment can take `framed` more bytes; rolls to a
+  /// new segment if needed.
+  Status EnsureActiveCapacity(size_t framed);
+  Status NewSegment(size_t min_capacity);
+  /// Writes one framed row record into the active segment and parses it
+  /// back into a borrowed Row. Returns the record's location.
+  Status WriteRecord(uint64_t row_id, const Row& row, RowLoc* loc,
+                     Row* borrowed);
+  /// Parses the record at (seg, *off) into (row_id, borrowed row).
+  Status ParseRecordAt(const Segment& seg, size_t* off, uint64_t* row_id,
+                       Row* borrowed) const;
+  /// Replays all records of segment `index` from `*off`; `restore` mode
+  /// (Load path) only re-points rows whose current location matches.
+  Status ReplaySegment(uint32_t index, bool restore);
+  Status SealActiveLocked();
+
+  Options options_;
+  std::vector<Segment> segments_;
+  std::vector<Row> rows_;      // Borrowed views; evicted rows are cleared.
+  std::vector<RowLoc> locs_;   // Parallel to rows_.
+  std::vector<uint32_t> row_bytes_;  // Column-byte size per row.
+  uint64_t total_bytes_ = 0;
+  uint64_t generation_ = 0;  // Records written + residency flips (borrows).
+  uint64_t records_ = 0;     // Records written only (durable, see base).
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_STORAGE_SEGMENT_ENGINE_H_

@@ -1,0 +1,134 @@
+#ifndef CONCEALER_STORAGE_STORAGE_ENGINE_H_
+#define CONCEALER_STORAGE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/row.h"
+
+namespace concealer {
+
+/// The pluggable row heap underneath EncryptedTable — the part of the
+/// untrusted DBMS that stores the encrypted tuples. Two implementations:
+///
+///  - RowStore (row_store.h): the original in-memory heap. Fast, volatile,
+///    dataset capped by RAM.
+///  - SegmentEngine (segment_engine.h): persistent, append-only mmap'd
+///    segment files. Rows survive restart; GetRef borrows point straight
+///    into the mapped region, so the zero-copy fetch/decrypt path is
+///    byte-identical to the in-memory engine.
+///
+/// Contract shared by all engines:
+///  - Rows are addressed by dense 64-bit ids assigned by Append.
+///  - GetRef borrows are invalidated by any generation() bump — Append,
+///    Replace, EvictSegments and LoadSegments all bump it. The query path
+///    reads under the epoch-level shared lock, where none of these run
+///    (RowRef carries the generation for a debug-checked borrow).
+///  - Mutators and the segment-lifecycle calls require external exclusive
+///    synchronization; const reads may run concurrently with each other.
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  /// Appends a row; returns its dense row id.
+  virtual StatusOr<uint64_t> Append(Row row) = 0;
+
+  /// Fetches an owned copy of a row by id.
+  virtual StatusOr<Row> Get(uint64_t row_id) const = 0;
+
+  /// Borrowed access (no copy). Returns nullptr for an out-of-range id or
+  /// a row whose segment is currently evicted (the lifecycle manager
+  /// guarantees residency before queries run).
+  virtual const Row* GetRef(uint64_t row_id) const = 0;
+
+  /// Overwrites an existing row (dynamic insertion re-encryption).
+  virtual Status Replace(uint64_t row_id, Row row) = 0;
+
+  virtual uint64_t size() const = 0;
+
+  /// Total bytes across all live rows' columns (storage-size accounting for
+  /// the setup-leakage experiments).
+  virtual uint64_t TotalBytes() const = 0;
+
+  /// Borrow-invalidation counter: bumped by every operation that may move
+  /// or drop row memory (Append/Replace/Evict/Load).
+  virtual uint64_t generation() const = 0;
+
+  /// Durable mutation counter: Append/Replace only — the record count a
+  /// persistent engine recomputes from its log on restart, so it is
+  /// stable across reopen and serves as the index-sidecar freshness
+  /// stamp. (generation() also counts residency flips, which do not
+  /// change the rows and would spuriously invalidate the sidecar.)
+  virtual uint64_t durable_generation() const { return generation(); }
+
+  /// Engine name for stats/bench output ("memory", "mmap").
+  virtual const char* name() const = 0;
+
+  /// Durability barrier (msync for mmap engines). No-op in memory.
+  virtual Status Sync() { return Status::OK(); }
+
+  /// True when rows survive destruction of this object (on-disk engines).
+  virtual bool persistent() const { return false; }
+
+  // --- Segment lifecycle (persistent engines; trivial no-ops in memory) --
+  // The lifecycle manager aligns epochs with segments: it seals after each
+  // ingested epoch, so one epoch maps to a contiguous segment range that
+  // can be evicted (unmapped, row table dropped) and reloaded on demand.
+
+  /// Number of segment files (0 for non-segmented engines).
+  virtual uint32_t NumSegments() const { return 0; }
+
+  /// Seals the active segment: subsequent appends start a new segment.
+  virtual Status SealSegment() { return Status::OK(); }
+
+  /// Drops the in-memory residency of segments [lo, hi] (munmap + row
+  /// table). Rows whose latest version lives elsewhere are untouched.
+  virtual Status EvictSegments(uint32_t lo, uint32_t hi) {
+    (void)lo;
+    (void)hi;
+    return Status::OK();
+  }
+
+  /// Re-maps segments [lo, hi] and restores their rows' borrows.
+  virtual Status LoadSegments(uint32_t lo, uint32_t hi) {
+    (void)lo;
+    (void)hi;
+    return Status::OK();
+  }
+
+  /// True iff every row stored in segments [lo, hi] is readable via GetRef.
+  virtual bool SegmentsResident(uint32_t lo, uint32_t hi) const {
+    (void)lo;
+    (void)hi;
+    return true;
+  }
+};
+
+/// Engine selection for a ServiceProvider's table. The default is the
+/// in-memory heap; `CONCEALER_STORAGE_ENGINE=mmap` flips the default (CI
+/// runs the whole suite under both engines through this toggle).
+struct StorageOptions {
+  enum class Engine { kMemory, kMmap };
+  Engine engine = Engine::kMemory;
+  /// Segment directory for kMmap. Empty = an ephemeral temp directory the
+  /// engine creates and removes on destruction (tests/benches that want
+  /// mmap behavior without managing paths). Persistence across process
+  /// restarts requires an explicit dir.
+  std::string dir;
+  /// Capacity of one segment file. Oversized rows get a dedicated segment.
+  uint64_t segment_bytes = 8ull << 20;
+
+  /// Reads CONCEALER_STORAGE_ENGINE ("memory" default, "mmap").
+  static StorageOptions FromEnv();
+};
+
+/// Builds an engine from options. For kMmap this opens (and, if present,
+/// recovers) the segment directory.
+StatusOr<std::unique_ptr<StorageEngine>> MakeStorageEngine(
+    const StorageOptions& options);
+
+}  // namespace concealer
+
+#endif  // CONCEALER_STORAGE_STORAGE_ENGINE_H_

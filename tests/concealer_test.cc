@@ -519,7 +519,7 @@ TEST_F(DynamicTest, ReencryptionRewritesCiphertexts) {
   // bins' rows must have new index ciphertexts.
   std::set<Bytes> before;
   sp_->mutable_table().Scan([&](const Row& row) {
-    before.insert(row.columns[kColIndex]);
+    before.insert(row.columns[kColIndex].ToBytes());
     return true;
   });
   Query q;
@@ -530,7 +530,7 @@ TEST_F(DynamicTest, ReencryptionRewritesCiphertexts) {
   ASSERT_TRUE(sp_->Execute(q).ok());
   uint64_t changed = 0;
   sp_->mutable_table().Scan([&](const Row& row) {
-    changed += before.count(row.columns[kColIndex]) == 0 ? 1 : 0;
+    changed += before.count(row.columns[kColIndex].ToBytes()) == 0 ? 1 : 0;
     return true;
   });
   EXPECT_GT(changed, 0u) << "no rows were re-encrypted";

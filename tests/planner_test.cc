@@ -213,7 +213,7 @@ TEST_F(PlannerTest, ObliviousTrapdoorsFetchSameRowsAsPlain) {
   // Same row multiset (order may differ after the oblivious sort).
   auto index_set = [](const FetchedUnit& f) {
     std::multiset<Bytes> s;
-    for (const Row* r : f.rows) s.insert(r->columns[kColIndex]);
+    for (const Row* r : f.rows) s.insert(r->columns[kColIndex].ToBytes());
     return s;
   };
   EXPECT_EQ(index_set(*plain), index_set(*oblivious));

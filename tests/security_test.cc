@@ -144,11 +144,11 @@ TEST_F(SecurityTest, ForwardPrivacy_TrapdoorsDoNotMatchOtherEpochs) {
   ASSERT_TRUE(epochs.ok());
   std::set<Bytes> epoch0_cols;
   for (const Row& row : epoch_.rows) {
-    for (const Bytes& col : row.columns) epoch0_cols.insert(col);
+    for (const Column& col : row.columns) epoch0_cols.insert(col.ToBytes());
   }
   for (const Row& row : (*epochs)[0].rows) {
-    for (const Bytes& col : row.columns) {
-      EXPECT_EQ(epoch0_cols.count(col), 0u);
+    for (const Column& col : row.columns) {
+      EXPECT_EQ(epoch0_cols.count(col.ToBytes()), 0u);
     }
   }
 }
@@ -168,7 +168,7 @@ TEST_F(SecurityTest, FakeRowsIndistinguishableByLengthAndEntropy) {
     const bool is_fake = !det->Decrypt(row.columns[kColEr]).ok();
     if (is_fake) {
       fake_el_lens.insert(row.columns[kColEl].size());
-      fake_els.push_back(row.columns[kColEl]);
+      fake_els.push_back(row.columns[kColEl].ToBytes());
     } else {
       real_el_lens.insert(row.columns[kColEl].size());
     }
@@ -270,12 +270,12 @@ TEST_F(SecurityTest, CiphertextIndistinguishability_ErUniquePerRow) {
   // indistinguishability").
   std::set<Bytes> ers;
   for (const Row& row : epoch_.rows) {
-    EXPECT_TRUE(ers.insert(row.columns[kColEr]).second);
+    EXPECT_TRUE(ers.insert(row.columns[kColEr].ToBytes()).second);
   }
   // And the Index column is unique by construction.
   std::set<Bytes> indexes;
   for (const Row& row : epoch_.rows) {
-    EXPECT_TRUE(indexes.insert(row.columns[kColIndex]).second);
+    EXPECT_TRUE(indexes.insert(row.columns[kColIndex].ToBytes()).second);
   }
 }
 
