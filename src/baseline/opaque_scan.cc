@@ -31,7 +31,7 @@ StatusOr<QueryResult> OpaqueScanBaseline::Execute(
   uint64_t row_id = 0;
   size_t cursor = 0;  // Ranges are contiguous and scanned in order.
   Status scan_status;
-  table_->Scan([&](const Row& row) {
+  Status residency = table_->Scan([&](const Row& row) {
     const uint64_t id = row_id++;
     while (cursor < ranges.size() &&
            id >= ranges[cursor].first_row_id + ranges[cursor].num_rows) {
@@ -51,6 +51,7 @@ StatusOr<QueryResult> OpaqueScanBaseline::Execute(
     oracle.Insert(std::move(*tuple));
     return true;
   });
+  if (!residency.ok()) return residency;
   if (!scan_status.ok()) return scan_status;
 
   StatusOr<QueryResult> result = oracle.Execute(query);

@@ -1,5 +1,7 @@
 #include "concealer/epoch_io.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 
@@ -185,10 +187,32 @@ StatusOr<EncryptedEpoch> DeserializeEpoch(Slice data) {
   return DeserializeEpochBody(*body);
 }
 
+EncryptedEpoch StripRows(const EncryptedEpoch& epoch) {
+  // Compile-time tripwire: a field added to EncryptedEpoch must be copied
+  // below (and wired through the serializers), or restart recovery would
+  // silently drop it from every epoch-meta sidecar. All members are
+  // 8-aligned, so the sum is exact.
+  static_assert(sizeof(EncryptedEpoch) ==
+                    4 * sizeof(uint64_t) + 2 * sizeof(Bytes) +
+                        sizeof(std::vector<Row>),
+                "EncryptedEpoch changed: update StripRows and the epoch "
+                "serializers in epoch_io.cc");
+  EncryptedEpoch out;
+  out.epoch_id = epoch.epoch_id;
+  out.epoch_start = epoch.epoch_start;
+  out.enc_grid_layout = epoch.enc_grid_layout;
+  out.enc_verification_tags = epoch.enc_verification_tags;
+  out.num_real_tuples = epoch.num_real_tuples;
+  out.num_fake_tuples = epoch.num_fake_tuples;
+  return out;
+}
+
 Bytes SerializeEpochMeta(const EpochMeta& meta) {
-  EncryptedEpoch stripped = meta.epoch;
-  stripped.rows.clear();
-  const Bytes epoch_blob = SerializeEpoch(stripped);
+  // Metas built by ingest are already row-free; strip defensively (without
+  // ever copying row bytes) if a caller handed in a full epoch.
+  const Bytes epoch_blob = meta.epoch.rows.empty()
+                               ? SerializeEpoch(meta.epoch)
+                               : SerializeEpoch(StripRows(meta.epoch));
   Bytes body;
   body.reserve(8 + 8 + 4 + 4 + 4 + epoch_blob.size());
   PutFixed64(&body, meta.first_row_id);
@@ -241,15 +265,27 @@ StatusOr<EpochMeta> ReadEpochMetaFile(const std::string& path) {
 }
 
 Status WriteFileBytes(const std::string& path, Slice data) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Write-then-rename: a crash mid-write must never leave a torn file at
+  // `path` itself. Epoch-meta files and the index sidecar are recovery
+  // inputs — a torn meta would fail ServiceProvider::Open until a human
+  // deleted it, while a missing one is at worst a re-ingest.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::Internal("cannot open for write: " + path);
+    return Status::Internal("cannot open for write: " + tmp);
   }
   const size_t written =
       data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  const bool flushed =
+      written == data.size() && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
   const int rc = std::fclose(f);
-  if (written != data.size() || rc != 0) {
-    return Status::Internal("short write: " + path);
+  if (!flushed || rc != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal("short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Internal("cannot rename " + tmp + " to " + path);
   }
   return Status::OK();
 }

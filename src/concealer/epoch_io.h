@@ -67,6 +67,11 @@ struct EpochMeta {
   uint32_t seg_hi = 0;
 };
 
+/// Copy of `epoch` with its rows omitted — only the metadata fields the
+/// epoch-meta sidecar persists. Rows at paper scale run to hundreds of MB
+/// per epoch, so meta producers use this instead of copying the full epoch.
+EncryptedEpoch StripRows(const EncryptedEpoch& epoch);
+
 Bytes SerializeEpochMeta(const EpochMeta& meta);
 StatusOr<EpochMeta> DeserializeEpochMeta(Slice data);
 Status WriteEpochMetaFile(const std::string& path, const EpochMeta& meta);

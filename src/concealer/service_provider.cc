@@ -90,6 +90,10 @@ Status ServiceProvider::Recover() {
   if (table_.num_rows() > 0) {
     CONCEALER_RETURN_IF_ERROR(
         table_.RecoverIndex(IndexSidecarPath(storage_options_.dir)));
+    // The recovered index covers every current row, so the geometric
+    // persist schedule in IngestEpoch resumes from here — without this,
+    // the first ingest after every restart would re-dump the full sidecar.
+    sidecar_rows_ = table_.num_rows();
   }
   // Re-adopt every persisted epoch: the meta file carries the encrypted
   // enclave blobs (layout, tags) plus the row span and segment range; the
@@ -162,7 +166,9 @@ Status ServiceProvider::IngestEpoch(const EncryptedEpoch& epoch) {
   }
   if (persistent_) {
     EpochMeta meta;
-    meta.epoch = epoch;  // rows are stripped by SerializeEpochMeta.
+    // Only the metadata fields are persisted; copying the full epoch here
+    // would duplicate hundreds of MB of row data at paper scale.
+    meta.epoch = StripRows(epoch);
     meta.first_row_id = first_row_id;
     meta.num_rows = epoch.rows.size();
     auto seg_it = epoch_segments_.find(epoch.epoch_id);
@@ -170,6 +176,11 @@ Status ServiceProvider::IngestEpoch(const EncryptedEpoch& epoch) {
       meta.seg_lo = seg_it->second.first;
       meta.seg_hi = seg_it->second.second;
     }
+    // Crash-consistency boundary: the rows are already durable in sealed
+    // segments, so a failure from here on leaves the epoch served from
+    // memory but meta-less on disk — absent after a restart, its rows
+    // unqueryable orphans. WriteFileBytes' write-then-rename narrows the
+    // window to real I/O failures (a torn meta can never appear).
     CONCEALER_RETURN_IF_ERROR(WriteEpochMetaFile(
         EpochMetaPath(storage_options_.dir, epoch.epoch_id), meta));
     // Sidecar dumps rewrite the WHOLE index, so re-dumping on every ingest

@@ -100,6 +100,10 @@ struct GridLayout {
 /// Everything DP ships to SP for one epoch (Algorithm 1 output, line 25):
 /// permuted real+fake rows, the two encrypted vectors, and encrypted
 /// verifiable tags (one chain per cell-id and chained column).
+///
+/// Adding a field? Wire it through SerializeEpoch/DeserializeEpoch AND
+/// StripRows in epoch_io.cc (a static_assert there trips otherwise) so it
+/// survives the epoch-meta sidecar and restart recovery.
 struct EncryptedEpoch {
   uint64_t epoch_id = 0;
   uint64_t epoch_start = 0;  // Seconds; epoch covers [start, start+len).

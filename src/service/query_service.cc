@@ -66,8 +66,12 @@ QueryService::QueryService(std::unique_ptr<ServiceProvider> provider,
     for (const EpochRowRange& range : provider_->EpochRowRanges()) {
       Status st = lifecycle_->OnEpochAdmitted(range.epoch_id);
       if (!st.ok()) {
+        // A failed admission leaves this epoch resident beyond the hot cap.
+        // Constructors cannot fail, so keep the first error for callers to
+        // check via recovery_status() rather than swallowing it.
         std::fprintf(stderr, "[query_service] epoch admit failed: %s\n",
                      st.ToString().c_str());
+        if (recovery_status_.ok()) recovery_status_ = st;
       }
     }
   }

@@ -141,6 +141,13 @@ class QueryService {
   /// was configured). Stats expose cold-load/eviction counts.
   const EpochLifecycleManager* lifecycle() const { return lifecycle_.get(); }
 
+  /// OK unless admitting a restart-recovered epoch into the hot set failed
+  /// during construction (the first error is kept). A failed admission
+  /// leaves the reopened process holding more resident epochs than
+  /// max_hot_epochs promises, so restart paths should check this before
+  /// serving traffic.
+  const Status& recovery_status() const { return recovery_status_; }
+
   struct CacheStats {
     uint64_t trapdoor_hits = 0;
     uint64_t trapdoor_misses = 0;
@@ -178,6 +185,9 @@ class QueryService {
   std::unique_ptr<EpochLifecycleManager> lifecycle_;
   SessionManager sessions_;
   std::unique_ptr<ThreadPool> scheduler_;
+  /// First failure admitting a recovered epoch at construction; see
+  /// recovery_status().
+  Status recovery_status_;
 
   /// Epoch-level reader/writer lock: shared for static-mode queries and
   /// read-only introspection, exclusive for ingest and dynamic-mode

@@ -85,17 +85,27 @@ std::vector<std::pair<uint64_t, Row>> EncryptedTable::FetchWithIds(
   return out;
 }
 
-void EncryptedTable::Scan(
+Status EncryptedTable::Scan(
     const std::function<bool(const Row&)>& visitor) const {
   uint64_t scanned = 0;
+  Status st;
   for (uint64_t id = 0; id < store_->size(); ++id) {
     const Row* row = store_->GetRef(id);
-    if (row == nullptr) continue;  // Evicted segment.
+    if (row == nullptr) {
+      // Residency guard, mirroring the Execute fetch path: a full scan
+      // must cover every row, so an evicted segment fails the scan rather
+      // than silently shrinking the answer.
+      st = Status::FailedPrecondition(
+          "row " + std::to_string(id) +
+          "'s segment is evicted; load it before scanning");
+      break;
+    }
     ++scanned;
     if (!visitor(*row)) break;
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.rows_scanned += scanned;
+  return st;
 }
 
 Status EncryptedTable::ReindexRows(

@@ -100,8 +100,10 @@ class EncryptedTable {
       const std::vector<Bytes>& keys) const;
 
   /// Full scan in row-id order (Opaque baseline). Visitor returns false to
-  /// stop. Skips rows whose segment is evicted.
-  void Scan(const std::function<bool(const Row&)>& visitor) const;
+  /// stop. Fails with FailedPrecondition on a row whose segment is evicted
+  /// (same residency guard as the fetch path): a partial scan silently
+  /// answering for the whole table would be worse than no answer.
+  Status Scan(const std::function<bool(const Row&)>& visitor) const;
 
   /// Overwrites rows in place without touching the index (the new rows must
   /// keep their index-column values).

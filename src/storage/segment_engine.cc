@@ -95,6 +95,12 @@ StatusOr<std::unique_ptr<SegmentEngine>> SegmentEngine::Open(Options options) {
     }
   }
 
+  // Map every recovered segment BEFORE replaying any: the torn-tail
+  // allowance in ReplaySegment keys off "is this the final segment", which
+  // is only meaningful once segments_ holds the full recovered set.
+  // (Mapping and replaying one segment per loop iteration would make every
+  // segment look final in turn, so corruption anywhere would be mistaken
+  // for a torn tail.)
   for (uint32_t index = 0; index < indexes.size(); ++index) {
     Segment seg;
     seg.path = SegmentPath(engine->options_.dir, index);
@@ -122,26 +128,31 @@ StatusOr<std::unique_ptr<SegmentEngine>> SegmentEngine::Open(Options options) {
     seg.sealed = true;
     seg.resident = true;
     engine->segments_.push_back(std::move(seg));
+  }
+  for (uint32_t index = 0; index < indexes.size(); ++index) {
     CONCEALER_RETURN_IF_ERROR(engine->ReplaySegment(index, /*restore=*/false));
-    // A crash before SealActiveLocked leaves the preallocated zero tail on
-    // disk. Normalize to the sealed-segment invariant (file size == tail)
-    // now, so a later evict/reload round-trips cleanly.
-    Segment& recovered = engine->segments_.back();
-    if (recovered.map_len > recovered.tail) {
-      const int wfd = ::open(recovered.path.c_str(), O_RDWR);
-      if (wfd < 0 ||
-          ::ftruncate(wfd, static_cast<off_t>(recovered.tail)) != 0) {
-        if (wfd >= 0) ::close(wfd);
-        return Status::Internal("cannot truncate recovered segment " +
-                                recovered.path);
-      }
-      ::close(wfd);
-      const size_t keep = PageRoundUp(recovered.tail);
-      if (keep < recovered.map_len) {
-        ::munmap(recovered.map + keep, recovered.map_len - keep);
-        recovered.map_len = keep;
-        if (keep == 0) recovered.map = nullptr;
-      }
+  }
+  // Only now — with the whole log validated — normalize files to the
+  // sealed-segment invariant (file size == tail): a crash before
+  // SealActiveLocked leaves the preallocated zero tail behind, and a torn
+  // final record is cut here too. Deferring this ftruncate until every
+  // segment replayed cleanly means corruption anywhere aborts Open above
+  // without destroying a single committed (msync'd) byte.
+  for (Segment& recovered : engine->segments_) {
+    if (recovered.map_len <= recovered.tail) continue;
+    const int wfd = ::open(recovered.path.c_str(), O_RDWR);
+    if (wfd < 0 ||
+        ::ftruncate(wfd, static_cast<off_t>(recovered.tail)) != 0) {
+      if (wfd >= 0) ::close(wfd);
+      return Status::Internal("cannot truncate recovered segment " +
+                              recovered.path);
+    }
+    ::close(wfd);
+    const size_t keep = PageRoundUp(recovered.tail);
+    if (keep < recovered.map_len) {
+      ::munmap(recovered.map + keep, recovered.map_len - keep);
+      recovered.map_len = keep;
+      if (keep == 0) recovered.map = nullptr;
     }
   }
   return engine;
@@ -247,7 +258,9 @@ Status SegmentEngine::ReplaySegment(uint32_t index, bool restore) {
     if (!st.ok()) {
       if (!restore && index + 1 == segments_.size()) {
         // A torn final write (crash mid-append) truncates the log here;
-        // anything corrupt before the last segment is real damage.
+        // anything corrupt before the last segment is real damage. Open
+        // maps the full recovered set before replaying any segment, so
+        // this condition singles out the true final segment only.
         std::fprintf(stderr,
                      "[segment_engine] %s: truncating at torn record "
                      "(offset %zu): %s\n",
@@ -423,7 +436,21 @@ Status SegmentEngine::LoadSegments(uint32_t lo, uint32_t hi) {
     }
     seg.map = static_cast<uint8_t*>(map);
     seg.resident = true;
-    CONCEALER_RETURN_IF_ERROR(ReplaySegment(i, /*restore=*/true));
+    Status replayed = ReplaySegment(i, /*restore=*/true);
+    if (!replayed.ok()) {
+      // Roll back to the evicted state: left "resident", the query path
+      // would serve rows whose columns are still cleared (or dangle into
+      // the mapping we are about to drop). Staying evicted also lets a
+      // repaired file retry the load.
+      for (uint64_t id : seg.row_ids) {
+        if (locs_[id].seg == i) rows_[id].columns.clear();
+      }
+      if (seg.map != nullptr) ::munmap(seg.map, seg.map_len);
+      seg.map = nullptr;
+      seg.resident = false;
+      ++generation_;
+      return replayed;
+    }
   }
   ++generation_;
   return Status::OK();

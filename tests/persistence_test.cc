@@ -436,19 +436,20 @@ TEST(EpochLifecycleTest, ColdEpochsEvictAndReloadOnDemand) {
 
   QueryServiceOptions service_options;
   service_options.max_hot_epochs = 1;  // Aggressive tiering.
-  QueryService service(std::move(*sp), service_options);
-  ASSERT_TRUE(service.LoadRegistry(dp.EncryptedRegistry()).ok());
-  for (const auto& e : *epochs) ASSERT_TRUE(service.IngestEpoch(e).ok());
+  // Heap-held so the restart below can destroy it first — two live engines
+  // over one segment directory is not a supported configuration.
+  auto service = std::make_unique<QueryService>(std::move(*sp),
+                                                service_options);
+  ASSERT_TRUE(service->LoadRegistry(dp.EncryptedRegistry()).ok());
+  for (const auto& e : *epochs) ASSERT_TRUE(service->IngestEpoch(e).ok());
 
-  ASSERT_NE(service.lifecycle(), nullptr);
+  ASSERT_NE(service->lifecycle(), nullptr);
   // Three epochs through a 1-epoch hot set: two are already cold.
-  EXPECT_EQ(service.lifecycle()->stats().resident_epochs, 1u);
-  EXPECT_GE(service.lifecycle()->stats().evictions, 2u);
+  EXPECT_EQ(service->lifecycle()->stats().resident_epochs, 1u);
+  EXPECT_GE(service->lifecycle()->stats().evictions, 2u);
 
-  auto token = service.OpenSession("alice",
-                                   Registry::MakeProof(Slice("alice-secret",
-                                                             12),
-                                                       "alice"));
+  auto token = service->OpenSession(
+      "alice", Registry::MakeProof(Slice("alice-secret", 12), "alice"));
   ASSERT_TRUE(token.ok());
 
   // Ping-pong across epochs: every switch reloads a cold epoch, answers
@@ -461,7 +462,7 @@ TEST(EpochLifecycleTest, ColdEpochsEvictAndReloadOnDemand) {
       q.time_lo = day * 86400 + 9 * 3600;
       q.time_hi = day * 86400 + 11 * 3600;
       q.verify = true;
-      auto got = service.Execute(*token, q);
+      auto got = service->Execute(*token, q);
       ASSERT_TRUE(got.ok()) << got.status().ToString();
       auto want = memory_sp->Execute(q);
       ASSERT_TRUE(want.ok());
@@ -469,7 +470,7 @@ TEST(EpochLifecycleTest, ColdEpochsEvictAndReloadOnDemand) {
           << "day " << day << " round " << round;
     }
   }
-  const EpochLifecycleManager::Stats stats = service.lifecycle()->stats();
+  const EpochLifecycleManager::Stats stats = service->lifecycle()->stats();
   EXPECT_GE(stats.loads, 4u);  // Cold reloads actually happened.
   EXPECT_EQ(stats.resident_epochs, 1u);
 
@@ -480,11 +481,36 @@ TEST(EpochLifecycleTest, ColdEpochsEvictAndReloadOnDemand) {
   all.key_values = {{3}};
   all.time_lo = 0;
   all.time_hi = 3 * 86400;
-  auto got = service.Execute(*token, all);
+  auto got = service->Execute(*token, all);
   ASSERT_TRUE(got.ok());
   auto want = memory_sp->Execute(all);
   ASSERT_TRUE(want.ok());
   EXPECT_EQ(got->count, want->count);
+
+  // A real restart: tear the first service down (sealing its engine)
+  // before any second engine opens the directory.
+  service.reset();
+
+  // Restart: the reopened provider re-admits its recovered epochs through
+  // the lifecycle manager at construction. The hot cap must hold after the
+  // restart, and no admission may have failed silently — recovery_status()
+  // reports the first failure.
+  {
+    auto sp2 = ServiceProvider::Open(config, dp.shared_secret(), options);
+    ASSERT_TRUE(sp2.ok()) << sp2.status().ToString();
+    QueryService reopened(std::move(*sp2), service_options);
+    ASSERT_TRUE(reopened.recovery_status().ok())
+        << reopened.recovery_status().ToString();
+    ASSERT_NE(reopened.lifecycle(), nullptr);
+    EXPECT_EQ(reopened.lifecycle()->stats().resident_epochs, 1u);
+    ASSERT_TRUE(reopened.LoadRegistry(dp.EncryptedRegistry()).ok());
+    auto token2 = reopened.OpenSession(
+        "alice", Registry::MakeProof(Slice("alice-secret", 12), "alice"));
+    ASSERT_TRUE(token2.ok());
+    auto got2 = reopened.Execute(*token2, all);
+    ASSERT_TRUE(got2.ok()) << got2.status().ToString();
+    EXPECT_EQ(got2->count, want->count);
+  }
 
   RemoveDirRecursive(dir);
 }

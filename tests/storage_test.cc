@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -297,10 +299,11 @@ TEST_P(EncryptedTableTest, ScanCountsRows) {
     ASSERT_TRUE(table->Insert(Row{{Bytes{uint8_t(i)}, Key(i)}}).ok());
   }
   uint64_t seen = 0;
-  table->Scan([&](const Row&) {
-    ++seen;
-    return true;
-  });
+  ASSERT_TRUE(table->Scan([&](const Row&) {
+                     ++seen;
+                     return true;
+                   })
+                  .ok());
   EXPECT_EQ(seen, 20u);
   EXPECT_EQ(table->stats().rows_scanned, 20u);
 }
@@ -533,6 +536,179 @@ TEST(SegmentEngineTest, TornFinalRecordIsTruncatedOnRecovery) {
       ASSERT_NE((*engine)->GetRef(i), nullptr);
       EXPECT_EQ((*engine)->GetRef(i)->columns, TestRow(i).columns);
     }
+  }
+  RemoveDirRecursive(dir);
+}
+
+TEST(SegmentEngineTest, CorruptionBeforeFinalSegmentFailsOpenIntact) {
+  const std::string dir = TempDir();
+  {
+    SegmentEngine::Options options;
+    options.dir = dir;
+    auto engine = SegmentEngine::Open(options);
+    ASSERT_TRUE(engine.ok());
+    for (uint64_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*engine)->Append(TestRow(i)).ok());
+    }
+    ASSERT_TRUE((*engine)->SealSegment().ok());
+    for (uint64_t i = 5; i < 10; ++i) {
+      ASSERT_TRUE((*engine)->Append(TestRow(i)).ok());
+    }
+  }
+  // Flip a byte inside a record of segment 0 — committed, msync'd data in
+  // a NON-final segment. That is real damage, not a torn tail: Open must
+  // refuse, and must not truncate a single byte.
+  const std::string seg0 = dir + "/seg-000000.seg";
+  struct stat before;
+  ASSERT_EQ(::stat(seg0.c_str(), &before), 0);
+  std::FILE* f = std::fopen(seg0.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+  const int orig = std::fgetc(f);
+  ASSERT_NE(orig, EOF);
+  ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+  std::fputc(orig ^ 0xff, f);
+  std::fclose(f);
+  {
+    SegmentEngine::Options options;
+    options.dir = dir;
+    auto engine = SegmentEngine::Open(options);
+    ASSERT_FALSE(engine.ok());
+    EXPECT_TRUE(engine.status().IsCorruption()) << engine.status().ToString();
+  }
+  struct stat after;
+  ASSERT_EQ(::stat(seg0.c_str(), &after), 0);
+  EXPECT_EQ(after.st_size, before.st_size);
+  // Proof no committed byte was destroyed: repairing the flipped byte
+  // brings every row straight back.
+  f = std::fopen(seg0.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+  std::fputc(orig, f);
+  std::fclose(f);
+  {
+    SegmentEngine::Options options;
+    options.dir = dir;
+    auto engine = SegmentEngine::Open(options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    EXPECT_EQ((*engine)->size(), 10u);
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_NE((*engine)->GetRef(i), nullptr) << i;
+      EXPECT_EQ((*engine)->GetRef(i)->columns, TestRow(i).columns) << i;
+    }
+  }
+  RemoveDirRecursive(dir);
+}
+
+TEST(SegmentEngineTest, TornTailInFinalOfSeveralSegmentsRecovers) {
+  const std::string dir = TempDir();
+  {
+    SegmentEngine::Options options;
+    options.dir = dir;
+    auto engine = SegmentEngine::Open(options);
+    ASSERT_TRUE(engine.ok());
+    for (uint64_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*engine)->Append(TestRow(i)).ok());
+    }
+    ASSERT_TRUE((*engine)->SealSegment().ok());
+    for (uint64_t i = 5; i < 10; ++i) {
+      ASSERT_TRUE((*engine)->Append(TestRow(i)).ok());
+    }
+  }
+  // Corrupt the last record of the FINAL segment: a genuine torn tail.
+  const std::string seg1 = dir + "/seg-000001.seg";
+  std::FILE* f = std::fopen(seg1.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+  std::fputc(0xff, f);
+  std::fclose(f);
+  {
+    SegmentEngine::Options options;
+    options.dir = dir;
+    auto engine = SegmentEngine::Open(options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    // Only the torn record is dropped; segment 0 is untouched.
+    EXPECT_EQ((*engine)->size(), 9u);
+    for (uint64_t i = 0; i < 9; ++i) {
+      ASSERT_NE((*engine)->GetRef(i), nullptr) << i;
+      EXPECT_EQ((*engine)->GetRef(i)->columns, TestRow(i).columns) << i;
+    }
+  }
+  RemoveDirRecursive(dir);
+}
+
+TEST(SegmentEngineTest, FailedReloadLeavesSegmentEvicted) {
+  const std::string dir = TempDir();
+  {
+    SegmentEngine::Options options;
+    options.dir = dir;
+    auto engine = SegmentEngine::Open(options);
+    ASSERT_TRUE(engine.ok());
+    for (uint64_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*engine)->Append(TestRow(i)).ok());
+    }
+    ASSERT_TRUE((*engine)->SealSegment().ok());
+    ASSERT_TRUE((*engine)->EvictSegments(0, 0).ok());
+
+    // Corrupt the evicted file on disk (size preserved, checksum broken).
+    const std::string seg0 = dir + "/seg-000000.seg";
+    std::FILE* f = std::fopen(seg0.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+    const int orig = std::fgetc(f);
+    ASSERT_NE(orig, EOF);
+    ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+    std::fputc(orig ^ 0xff, f);
+    std::fclose(f);
+
+    // The reload must fail AND leave the segment evicted — "resident"
+    // with cleared row columns would hand the query path empty vectors.
+    Status st = (*engine)->LoadSegments(0, 0);
+    EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+    EXPECT_FALSE((*engine)->SegmentsResident(0, 0));
+    EXPECT_EQ((*engine)->GetRef(2), nullptr);
+
+    // Repairing the file lets a retry succeed with the original bytes.
+    f = std::fopen(seg0.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+    std::fputc(orig, f);
+    std::fclose(f);
+    ASSERT_TRUE((*engine)->LoadSegments(0, 0).ok());
+    for (uint64_t i = 0; i < 5; ++i) {
+      ASSERT_NE((*engine)->GetRef(i), nullptr) << i;
+      EXPECT_EQ((*engine)->GetRef(i)->columns, TestRow(i).columns) << i;
+    }
+  }
+  RemoveDirRecursive(dir);
+}
+
+TEST(SegmentEngineTest, ScanFailsOnEvictedSegment) {
+  const std::string dir = TempDir();
+  {
+    auto table =
+        std::make_unique<EncryptedTable>("t", 2, 1, OpenSegEngine(dir));
+    for (uint64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(table->Insert(Row{{Bytes{uint8_t(i)}, Key(i)}}).ok());
+    }
+    ASSERT_TRUE(table->engine()->SealSegment().ok());
+    ASSERT_TRUE(table->engine()->EvictSegments(0, 0).ok());
+    // The Opaque-baseline full scan must fail loudly rather than return a
+    // partial answer — same residency guard as the fetch path.
+    uint64_t seen = 0;
+    Status st = table->Scan([&](const Row&) {
+      ++seen;
+      return true;
+    });
+    EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+    EXPECT_EQ(seen, 0u);
+    ASSERT_TRUE(table->engine()->LoadSegments(0, 0).ok());
+    st = table->Scan([&](const Row&) {
+      ++seen;
+      return true;
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(seen, 10u);
   }
   RemoveDirRecursive(dir);
 }
