@@ -80,8 +80,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // One injected process-wide pool instead of a per-service scheduler plus
+  // a per-provider fetch pool: the same wiring the TenantRegistry uses, so
+  // the scheduler fan-out and the fetch fan-out share one pool and the
+  // per-pool nesting guard (common/thread_pool.h) applies uniformly.
+  ThreadPool pool(8);
   QueryServiceOptions options;
-  options.scheduler_threads = 8;
+  options.shared_pool = &pool;
   options.max_inflight = kMaxClients;
   QueryService service(
       std::make_unique<ServiceProvider>(ds.config, dp.shared_secret()),

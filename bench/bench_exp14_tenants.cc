@@ -1,0 +1,391 @@
+// Exp 14 (implementation extension, no paper counterpart): the TenantRegistry
+// front door under multi-tenant load. The paper's deployment is one service
+// provider for one client population; the ROADMAP's north star is many
+// tenants — each with their own table, key material and epoch set — behind
+// one process. This bench sweeps 1/4/16 tenants, each hit by concurrent
+// clients, on BOTH storage engines (in-memory and mmap segments), with the
+// registry arbitrating one shared worker pool and, on the mmap engine, a
+// global hot-epoch budget tight enough that tenants actually steal
+// residency slots from each other mid-sweep.
+//
+// Isolation gate: every answer produced through the registry is
+// byte-compared against a DEDICATED single-tenant service over the same key
+// material and data. Any divergence — cross-tenant cache bleed, a stolen
+// slot corrupting a reload, wrong routing — fails the run with a nonzero
+// exit. A throughput floor (CONCEALER_EXP14_MIN_QPS, default 1 query/s
+// aggregate) guards against the registry collapsing under fan-out.
+//
+// JSON: pass an output path as argv[1] (or set CONCEALER_BENCH_JSON); CI
+// uploads this as an artifact and re-checks gate.isolation_identical.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "concealer/data_provider.h"
+#include "concealer/wire.h"
+#include "enclave/registry.h"
+#include "service/tenant_registry.h"
+#include "workload/wifi_generator.h"
+
+using namespace concealer;
+
+namespace {
+
+constexpr int kMaxTenants = 16;
+constexpr int kClientsPerTenant = 2;
+constexpr int kQueriesPerClient = 8;
+constexpr uint64_t kDays = 2;
+// Tight on purpose at 16 tenants (16 x kDays = 32 resident epochs wanting
+// slots): the sweep exercises LRU slot stealing, not just routing.
+constexpr size_t kGlobalHotEpochs = 24;
+
+struct TenantData {
+  std::string id;
+  ConcealerConfig config;
+  std::unique_ptr<DataProvider> dp;
+  std::vector<EncryptedEpoch> epochs;
+  Bytes proof;
+};
+
+ConcealerConfig TenantConfig() {
+  ConcealerConfig config;
+  config.key_buckets = {8};
+  config.key_domains = {20};
+  config.time_buckets = 24;
+  config.num_cell_ids = 40;
+  config.epoch_seconds = 86400;
+  config.time_quantum = 60;
+  config.make_hash_chains = true;
+  return config;
+}
+
+StatusOr<TenantData> MakeTenantData(int index) {
+  TenantData t;
+  char name[32];
+  std::snprintf(name, sizeof(name), "tenant-%02d", index);
+  t.id = name;
+  t.config = TenantConfig();
+  // Per-tenant enclave secret, user base and data: nothing shared.
+  t.dp = std::make_unique<DataProvider>(t.config,
+                                        Bytes(32, static_cast<uint8_t>(0x40 + index)));
+  const std::string secret = "secret-" + t.id;
+  CONCEALER_RETURN_IF_ERROR(
+      t.dp->RegisterUser("alice", Slice(secret.data(), secret.size()), ""));
+  t.proof = Registry::MakeProof(Slice(secret.data(), secret.size()), "alice");
+
+  WifiConfig wifi;
+  wifi.num_access_points = 20;
+  wifi.num_devices = 50;
+  wifi.start_time = 0;
+  wifi.duration_seconds = kDays * 86400;
+  const uint64_t rows = 4000000 / bench::Scale();
+  wifi.total_rows = rows < 400 ? 400 : rows;
+  wifi.seed = 1000 + index;
+  StatusOr<std::vector<EncryptedEpoch>> epochs =
+      t.dp->EncryptAll(WifiGenerator(wifi).Generate());
+  if (!epochs.ok()) return epochs.status();
+  t.epochs = std::move(*epochs);
+  return t;
+}
+
+std::vector<Query> TenantQueries() {
+  std::vector<Query> queries;
+  for (uint64_t i = 0; i < 4; ++i) {
+    Query point;
+    point.agg = Aggregate::kCount;
+    point.key_values = {{(i * 5) % 20}};
+    point.time_lo = point.time_hi = (i * 9 + 2) * 3600;
+    queries.push_back(point);
+  }
+  Query range;
+  range.agg = Aggregate::kCount;
+  range.key_values = {{6}};
+  range.time_lo = 8 * 3600;
+  range.time_hi = 11 * 3600;
+  queries.push_back(range);
+  range.method = RangeMethod::kEBPB;
+  range.time_lo = 86400 + 7 * 3600;
+  range.time_hi = 86400 + 9 * 3600;
+  queries.push_back(range);
+  Query verified;
+  verified.agg = Aggregate::kCount;
+  verified.key_values = {{3}};
+  verified.time_lo = 10 * 3600;
+  verified.time_hi = 12 * 3600;
+  verified.verify = true;
+  queries.push_back(verified);
+  Query topk;
+  topk.agg = Aggregate::kTopK;
+  topk.k = 3;
+  topk.time_lo = 9 * 3600;
+  topk.time_hi = 12 * 3600;
+  queries.push_back(topk);
+  return queries;
+}
+
+/// Reference bytes from a dedicated single-tenant service on `engine` —
+/// no registry, no shared pool, no budget, nothing to steal from it.
+StatusOr<std::vector<Bytes>> DedicatedAnswers(const TenantData& t,
+                                              StorageOptions::Engine engine,
+                                              const std::vector<Query>& queries) {
+  StorageOptions storage;
+  storage.engine = engine;  // Empty dir: ephemeral for mmap.
+  QueryService service(
+      std::make_unique<ServiceProvider>(t.config, t.dp->shared_secret(),
+                                        storage),
+      QueryServiceOptions{});
+  CONCEALER_RETURN_IF_ERROR(service.LoadRegistry(t.dp->EncryptedRegistry()));
+  for (const auto& e : t.epochs) {
+    CONCEALER_RETURN_IF_ERROR(service.IngestEpoch(e));
+  }
+  StatusOr<std::string> token = service.OpenSession("alice", t.proof);
+  if (!token.ok()) return token.status();
+  std::vector<Bytes> out;
+  out.reserve(queries.size());
+  for (const Query& q : queries) {
+    StatusOr<QueryResult> got = service.Execute(*token, q);
+    if (!got.ok()) return got.status();
+    out.push_back(SerializeQueryResult(*got));
+  }
+  return out;
+}
+
+struct SweepRow {
+  int tenants = 0;
+  int clients = 0;
+  uint64_t queries = 0;
+  double seconds = 0;
+  double qps = 0;
+  bool identical = true;
+};
+
+std::string MakeTempRoot() {
+  char tmpl[] = "/tmp/concealer-exp14-XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "Exp 14: TenantRegistry, 1/4/16 tenants x concurrent clients, both "
+      "storage engines",
+      "extension beyond the paper (single-tenant deployment model)");
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+
+  const std::vector<Query> queries = TenantQueries();
+  const double min_qps =
+      std::getenv("CONCEALER_EXP14_MIN_QPS") != nullptr
+          ? std::atof(std::getenv("CONCEALER_EXP14_MIN_QPS"))
+          : 1.0;
+
+  // --- Per-tenant pipelines (encrypted once, shared by both engines) ----
+  std::fprintf(stderr, "[bench] encrypting %d tenants...\n", kMaxTenants);
+  std::vector<TenantData> tenants;
+  for (int i = 0; i < kMaxTenants; ++i) {
+    auto t = MakeTenantData(i);
+    if (!t.ok()) {
+      std::fprintf(stderr, "tenant setup failed: %s\n",
+                   t.status().ToString().c_str());
+      return 1;
+    }
+    tenants.push_back(std::move(*t));
+  }
+
+  struct EngineResult {
+    std::string name;
+    std::vector<SweepRow> rows;
+    HotEpochBudget::Stats budget;
+  };
+  std::vector<EngineResult> engine_results;
+  bool all_identical = true;
+  double worst_qps = -1;
+
+  for (StorageOptions::Engine engine :
+       {StorageOptions::Engine::kMemory, StorageOptions::Engine::kMmap}) {
+    const bool mmap = engine == StorageOptions::Engine::kMmap;
+    EngineResult er;
+    er.name = mmap ? "mmap" : "memory";
+    std::printf("\n--- engine: %s ---\n", er.name.c_str());
+
+    // Dedicated single-tenant references on this engine.
+    std::vector<std::vector<Bytes>> expected(tenants.size());
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      auto want = DedicatedAnswers(tenants[i], engine, queries);
+      if (!want.ok()) {
+        std::fprintf(stderr, "dedicated run failed: %s\n",
+                     want.status().ToString().c_str());
+        return 1;
+      }
+      expected[i] = std::move(*want);
+    }
+
+    // One registry holding all 16 tenants; sweeps target prefixes of it.
+    TenantRegistryOptions options;
+    options.storage.engine = engine;
+    options.pool_threads = 8;
+    options.service.max_inflight = 64;
+    std::string root;
+    if (mmap) {
+      root = MakeTempRoot();
+      if (root.empty()) {
+        std::fprintf(stderr, "mkdtemp failed\n");
+        return 1;
+      }
+      options.root_dir = root;
+      options.global_hot_epochs = kGlobalHotEpochs;
+    }
+    TenantRegistry registry(options);
+    std::vector<std::string> tokens;
+    for (const TenantData& t : tenants) {
+      Status st = registry.CreateTenant(t.id, t.config, t.dp->shared_secret());
+      if (st.ok()) st = registry.LoadRegistry(t.id, t.dp->EncryptedRegistry());
+      for (const auto& e : t.epochs) {
+        if (st.ok()) st = registry.IngestEpoch(t.id, e);
+      }
+      StatusOr<std::string> token = registry.OpenSession(t.id, "alice", t.proof);
+      if (st.ok() && !token.ok()) st = token.status();
+      if (!st.ok()) {
+        std::fprintf(stderr, "tenant %s provisioning failed: %s\n",
+                     t.id.c_str(), st.ToString().c_str());
+        return 1;
+      }
+      tokens.push_back(*token);
+    }
+
+    std::printf("%8s %8s %10s %10s %10s %10s\n", "tenants", "clients",
+                "queries", "wall(s)", "agg-qps", "identical");
+    for (int num_tenants : {1, 4, 16}) {
+      const int clients = num_tenants * kClientsPerTenant;
+      std::vector<int> mismatches(clients, 0);
+      Timer timer;
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          const int tenant = c % num_tenants;
+          for (int i = 0; i < kQueriesPerClient; ++i) {
+            const size_t qi = (c + i) % queries.size();
+            auto got = registry.Query(tenants[tenant].id, tokens[tenant],
+                                      queries[qi]);
+            if (!got.ok() ||
+                SerializeQueryResult(*got) != expected[tenant][qi]) {
+              ++mismatches[c];
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+
+      SweepRow row;
+      row.tenants = num_tenants;
+      row.clients = clients;
+      row.queries = static_cast<uint64_t>(clients) * kQueriesPerClient;
+      row.seconds = timer.ElapsedSeconds();
+      row.qps = row.seconds > 0 ? row.queries / row.seconds : 0;
+      for (int m : mismatches) row.identical = row.identical && m == 0;
+      all_identical = all_identical && row.identical;
+      if (worst_qps < 0 || row.qps < worst_qps) worst_qps = row.qps;
+      er.rows.push_back(row);
+      std::printf("%8d %8d %10llu %10.3f %10.1f %10s\n", row.tenants,
+                  row.clients, (unsigned long long)row.queries, row.seconds,
+                  row.qps, row.identical ? "yes" : "NO");
+    }
+    if (registry.hot_budget() != nullptr) {
+      er.budget = registry.hot_budget()->stats();
+      if (mmap) {
+        std::printf("hot-epoch budget: cap=%zu resident=%zu steals=%llu\n",
+                    er.budget.cap, er.budget.resident,
+                    (unsigned long long)er.budget.steals);
+      }
+    }
+    engine_results.push_back(std::move(er));
+    if (!root.empty()) {
+      const std::string cmd = "rm -rf '" + root + "'";
+      if (std::system(cmd.c_str()) != 0) {
+        std::fprintf(stderr, "cleanup of %s failed\n", root.c_str());
+      }
+    }
+  }
+
+  const bool throughput_pass = worst_qps >= min_qps;
+  std::printf(
+      "\nisolation gate: every multi-tenant answer byte-identical to its "
+      "dedicated\nsingle-tenant run: %s | aggregate throughput floor "
+      "(>= %.1f q/s): %s (worst %.1f)\n",
+      all_identical ? "PASS" : "FAIL", min_qps,
+      throughput_pass ? "PASS" : "FAIL", worst_qps);
+
+  // --- JSON artifact ----------------------------------------------------
+  const char* json_path = bench::BenchJsonPath(argc, argv);
+  if (json_path != nullptr) {
+    bench::JsonWriter j;
+    j.BeginObject();
+    j.Key("bench");
+    j.String("exp14_tenants");
+    j.Key("scale");
+    j.Number(static_cast<uint64_t>(bench::Scale()));
+    j.Key("queries_per_client");
+    j.Number(static_cast<uint64_t>(kQueriesPerClient));
+    j.Key("engines");
+    j.BeginArray();
+    for (const EngineResult& er : engine_results) {
+      j.BeginObject();
+      j.Key("engine");
+      j.String(er.name);
+      j.Key("sweep");
+      j.BeginArray();
+      for (const SweepRow& r : er.rows) {
+        j.BeginObject();
+        j.Key("tenants");
+        j.Number(static_cast<uint64_t>(r.tenants));
+        j.Key("clients");
+        j.Number(static_cast<uint64_t>(r.clients));
+        j.Key("queries");
+        j.Number(r.queries);
+        j.Key("seconds");
+        j.Number(r.seconds);
+        j.Key("qps");
+        j.Number(r.qps);
+        j.Key("identical");
+        j.Bool(r.identical);
+        j.EndObject();
+      }
+      j.EndArray();
+      j.Key("budget");
+      j.BeginObject();
+      j.Key("cap");
+      j.Number(static_cast<uint64_t>(er.budget.cap));
+      j.Key("resident");
+      j.Number(static_cast<uint64_t>(er.budget.resident));
+      j.Key("steals");
+      j.Number(er.budget.steals);
+      j.EndObject();
+      j.EndObject();
+    }
+    j.EndArray();
+    j.Key("gate");
+    j.BeginObject();
+    j.Key("isolation_identical");
+    j.Bool(all_identical);
+    j.Key("min_qps");
+    j.Number(min_qps);
+    j.Key("worst_qps");
+    j.Number(worst_qps);
+    j.Key("throughput_pass");
+    j.Bool(throughput_pass);
+    j.EndObject();
+    j.EndObject();
+    bench::WriteFileOrDie(json_path, j.str());
+  }
+
+  bench::PrintFooter();
+  return all_identical && throughput_pass ? 0 : 1;
+}

@@ -1,128 +1,191 @@
-// Multi-tenant service: several users share one Concealer deployment.
+// Multi-tenant service: several TENANTS — each an independent deployment
+// with its own enclave key material, user registry, table and epochs —
+// share one Concealer process behind a TenantRegistry front door.
 //
-//   1. DP registers three users and encrypts a day of readings.
-//   2. A QueryService wraps the service provider: each user authenticates
-//      ONCE (Phase 2) and receives a session token.
-//   3. Users fire queries concurrently; overlapping queries reuse the
-//      enclave's trapdoor/filter work through the shared cross-query
-//      cache, and every answer comes back encrypted under the session key.
+//   1. Two data providers (a metro WiFi operator and a campus operator)
+//      register their own users and encrypt their own readings under their
+//      own secrets.
+//   2. One TenantRegistry hosts both: it owns ONE process-wide worker pool
+//      and ONE hot-epoch budget that all tenants share, while keys,
+//      sessions and caches stay strictly per tenant.
+//   3. Clients of both tenants fire a mixed batch through the front door;
+//      every answer routes to the right tenant's data.
+//   4. Cross-tenant attacks bounce: one tenant's epochs, registry blob and
+//      session tokens are all useless against the other.
+//   5. One tenant is dropped (directory unlinked); the other keeps
+//      serving. The process then "restarts" — OpenAll recovers every
+//      surviving tenant from its segment directory alone.
 //
 // Build: cmake --build build && ./build/multi_tenant_service
 
 #include <cstdio>
-#include <thread>
+#include <cstdlib>
 #include <vector>
 
 #include "concealer/data_provider.h"
 #include "concealer/wire.h"
 #include "enclave/registry.h"
-#include "service/query_service.h"
+#include "service/tenant_registry.h"
 
 using namespace concealer;  // Example code; library code never does this.
 
-int main() {
-  // --- Setup: same grid as quickstart ----------------------------------
-  ConcealerConfig config;
-  config.key_buckets = {8};
-  config.key_domains = {10};
-  config.time_buckets = 24;
-  config.num_cell_ids = 40;
-  config.epoch_seconds = 86400;
-  config.time_quantum = 60;
+namespace {
 
-  DataProvider dp(config, Bytes(32, 0x5e));
-  const Bytes alice_secret{'a', '1'};
-  const Bytes bob_secret{'b', '2'};
-  const Bytes carol_secret{'c', '3'};
-  if (!dp.RegisterUser("alice", alice_secret, "dev-alice").ok()) return 1;
-  if (!dp.RegisterUser("bob", bob_secret, "").ok()) return 1;
-  if (!dp.RegisterUser("carol", carol_secret, "").ok()) return 1;
+struct TenantSetup {
+  std::string id;
+  ConcealerConfig config;
+  std::unique_ptr<DataProvider> dp;
+  std::vector<EncryptedEpoch> epochs;
+  Bytes proof;  // Session proof for the tenant's user "ana".
+};
+
+/// One tenant's whole DP side: keys, a user, a day of readings.
+TenantSetup MakeTenant(const std::string& id, uint8_t key_seed,
+                       uint64_t busy_room) {
+  TenantSetup t;
+  t.id = id;
+  t.config.key_buckets = {8};
+  t.config.key_domains = {10};
+  t.config.time_buckets = 24;
+  t.config.num_cell_ids = 40;
+  t.config.epoch_seconds = 86400;
+  t.config.time_quantum = 60;
+
+  t.dp = std::make_unique<DataProvider>(t.config, Bytes(32, key_seed));
+  const Bytes secret{'s', key_seed};
+  if (!t.dp->RegisterUser("ana", secret, "").ok()) std::abort();
+  t.proof = Registry::MakeProof(secret, "ana");
 
   std::vector<PlainTuple> readings;
   for (uint64_t minute = 0; minute < 600; ++minute) {
-    PlainTuple t;
-    t.keys = {minute % 10};
-    t.time = minute * 60;
-    t.observation = minute % 3 == 0 ? "dev-alice" : "dev-other";
-    readings.push_back(std::move(t));
+    PlainTuple reading;
+    // Different occupancy patterns per tenant: the same query must come
+    // back with different answers through the same front door.
+    reading.keys = {minute % 3 == 0 ? busy_room : minute % 10};
+    reading.time = minute * 60;
+    readings.push_back(std::move(reading));
   }
-  auto epochs = dp.EncryptAll(readings);
-  if (!epochs.ok()) return 1;
+  auto epochs = t.dp->EncryptAll(readings);
+  if (!epochs.ok()) std::abort();
+  t.epochs = std::move(*epochs);
+  return t;
+}
 
-  // --- The service: sessions + shared cache + admission gate -----------
-  QueryServiceOptions options;
-  options.max_inflight = 8;
-  QueryService service(
-      std::make_unique<ServiceProvider>(config, dp.shared_secret()), options);
-  if (!service.LoadRegistry(dp.EncryptedRegistry()).ok()) return 1;
-  for (const auto& epoch : *epochs) {
-    if (!service.IngestEpoch(epoch).ok()) return 1;
+Status Provision(TenantRegistry* registry, const TenantSetup& t) {
+  CONCEALER_RETURN_IF_ERROR(
+      registry->CreateTenant(t.id, t.config, t.dp->shared_secret()));
+  CONCEALER_RETURN_IF_ERROR(
+      registry->LoadRegistry(t.id, t.dp->EncryptedRegistry()));
+  for (const auto& epoch : t.epochs) {
+    CONCEALER_RETURN_IF_ERROR(registry->IngestEpoch(t.id, epoch));
   }
+  return Status::OK();
+}
 
-  // Phase 2, once per user.
-  const Bytes alice_proof = Registry::MakeProof(alice_secret, "alice");
-  const Bytes bob_proof = Registry::MakeProof(bob_secret, "bob");
-  const Bytes carol_proof = Registry::MakeProof(carol_secret, "carol");
-  auto alice = service.OpenSession("alice", alice_proof);
-  auto bob = service.OpenSession("bob", bob_proof);
-  auto carol = service.OpenSession("carol", carol_proof);
-  if (!alice.ok() || !bob.ok() || !carol.ok()) return 1;
-  std::printf("three sessions open, %llu proof checks performed\n",
-              (unsigned long long)service.sessions().authentications());
+}  // namespace
 
-  // --- Concurrent queries ----------------------------------------------
-  // Bob and Carol ask overlapping questions from their own threads; the
-  // second asker hits the cross-query cache instead of redoing the
-  // enclave's DET work.
-  Query occupancy;
-  occupancy.agg = Aggregate::kCount;
-  occupancy.key_values = {{4}};
-  occupancy.time_lo = 0;
-  occupancy.time_hi = 2 * 3600;
+int main() {
+  // --- Two independent tenants ------------------------------------------
+  TenantSetup metro = MakeTenant("metro-wifi", 0x11, /*busy_room=*/4);
+  TenantSetup campus = MakeTenant("campus-wifi", 0x22, /*busy_room=*/7);
 
-  std::vector<uint64_t> counts(2);
-  std::thread bob_thread([&] {
-    auto r = service.Execute(*bob, occupancy);
-    counts[0] = r.ok() ? r->count : ~0ull;
-  });
-  std::thread carol_thread([&] {
-    auto r = service.Execute(*carol, occupancy);
-    counts[1] = r.ok() ? r->count : ~0ull;
-  });
-  bob_thread.join();
-  carol_thread.join();
-  std::printf("count(room=4, 00:00-02:00): bob=%llu carol=%llu (agree: %s)\n",
-              (unsigned long long)counts[0], (unsigned long long)counts[1],
-              counts[0] == counts[1] ? "yes" : "NO");
-  auto stats = service.cache_stats();
-  std::printf("shared cache after both: %llu trapdoor hits, %llu misses\n",
-              (unsigned long long)stats.trapdoor_hits,
-              (unsigned long long)stats.trapdoor_misses);
+  char root_tmpl[] = "/tmp/concealer-tenants-XXXXXX";
+  const char* root = ::mkdtemp(root_tmpl);
+  if (root == nullptr) return 1;
 
-  // --- Encrypted results + authorization -------------------------------
-  // Alice runs an individualized query about her own device and decrypts
-  // the Phase 4 blob with her proof-derived key.
-  Query mine;
-  mine.agg = Aggregate::kKeysWithObservation;
-  mine.observation = "dev-alice";
-  mine.time_lo = 0;
-  mine.time_hi = 86399;
-  auto blob = service.ExecuteEncrypted(*alice, mine);
-  if (!blob.ok()) return 1;
-  auto mine_result = QueryService::DecryptResult(alice_proof, "alice", *blob);
-  if (!mine_result.ok()) return 1;
-  std::printf("alice's device seen at %zu rooms (decrypted client-side)\n",
-              mine_result->keyed_counts.size());
+  TenantRegistryOptions options;
+  options.root_dir = root;
+  // Persistent tenants so the restart demo below has something to recover.
+  options.storage.engine = StorageOptions::Engine::kMmap;
+  options.pool_threads = 4;    // ONE pool for all tenants' fan-out.
+  options.global_hot_epochs = 8;  // ONE residency budget for all tenants.
 
-  // Bob owns no observation: the same query on his session is refused.
-  auto denied = service.Execute(*bob, mine);
-  std::printf("bob asking about alice's device: %s\n",
-              denied.status().ToString().c_str());
+  {
+    TenantRegistry registry(options);
+    if (!Provision(&registry, metro).ok()) return 1;
+    if (!Provision(&registry, campus).ok()) return 1;
+    std::printf("registry hosts %zu tenants: metro-wifi, campus-wifi\n",
+                registry.NumTenants());
 
-  // Closed sessions stop working immediately.
-  service.CloseSession(*carol);
-  auto closed = service.Execute(*carol, occupancy);
-  std::printf("carol after closing her session: %s\n",
-              closed.status().ToString().c_str());
+    // --- Sessions route by tenant ---------------------------------------
+    auto metro_token = registry.OpenSession("metro-wifi", "ana", metro.proof);
+    auto campus_token =
+        registry.OpenSession("campus-wifi", "ana", campus.proof);
+    if (!metro_token.ok() || !campus_token.ok()) return 1;
+
+    // The same question to both tenants, fanned out as one batch on the
+    // shared pool — different tenants, different data, different answers.
+    Query occupancy;
+    occupancy.agg = Aggregate::kCount;
+    occupancy.key_values = {{4}};
+    occupancy.time_lo = 0;
+    occupancy.time_hi = 2 * 3600;
+    auto results = registry.QueryBatch({
+        {"metro-wifi", *metro_token, occupancy},
+        {"campus-wifi", *campus_token, occupancy},
+    });
+    if (!results[0].ok() || !results[1].ok()) return 1;
+    std::printf("count(room=4, 00:00-02:00): metro=%llu campus=%llu\n",
+                (unsigned long long)results[0]->count,
+                (unsigned long long)results[1]->count);
+
+    // --- Isolation: nothing of one tenant works against the other -------
+    EncryptedEpoch stolen = metro.epochs[0];
+    stolen.epoch_id = 99;  // Fresh id: the key boundary is the wall here,
+                           // not the duplicate-epoch check.
+    auto stolen_epoch = registry.IngestEpoch("campus-wifi", stolen);
+    std::printf("metro epoch pushed at campus: %s\n",
+                stolen_epoch.ToString().c_str());
+    auto stolen_token =
+        registry.Query("campus-wifi", *metro_token, occupancy);
+    std::printf("metro session replayed at campus: %s\n",
+                stolen_token.status().ToString().c_str());
+
+    // --- Tenant churn ----------------------------------------------------
+    if (!registry.DropTenant("metro-wifi").ok()) return 1;
+    std::printf("metro-wifi dropped (segment dir unlinked); campus still "
+                "answers: %s\n",
+                registry.Query("campus-wifi", *campus_token, occupancy)
+                        .ok()
+                    ? "yes"
+                    : "NO");
+  }  // Registry destroyed: the process "stops".
+
+  // --- Restart: recover every tenant directory left on disk -------------
+  TenantRegistry reopened(options);
+  const Status recovered = reopened.OpenAll(
+      [&](const std::string& id) -> StatusOr<TenantRegistry::TenantCredentials> {
+        // Key material arrives out of band, never from the untrusted disk.
+        if (id == "campus-wifi") {
+          return TenantRegistry::TenantCredentials{campus.config,
+                                                   campus.dp->shared_secret()};
+        }
+        return Status::NotFound("no credentials for " + id);
+      });
+  std::printf("restart recovered %zu tenant(s): %s\n", reopened.NumTenants(),
+              recovered.ToString().c_str());
+  for (const auto& r : reopened.recovery_statuses()) {
+    std::printf("  tenant %s: %s\n", r.tenant_id.c_str(),
+                r.status.ToString().c_str());
+  }
+  if (!reopened.LoadRegistry("campus-wifi", campus.dp->EncryptedRegistry())
+           .ok()) {
+    return 1;
+  }
+  auto token = reopened.OpenSession("campus-wifi", "ana", campus.proof);
+  if (!token.ok()) return 1;
+  Query q;
+  q.agg = Aggregate::kCount;
+  q.key_values = {{7}};
+  q.time_lo = 0;
+  q.time_hi = 86399;
+  auto after = reopened.Query("campus-wifi", *token, q);
+  if (!after.ok()) return 1;
+  std::printf("campus count(room=7, full day) after restart: %llu\n",
+              (unsigned long long)after->count);
+
+  if (std::system((std::string("rm -rf '") + root + "'").c_str()) != 0) {
+    return 1;
+  }
   return 0;
 }

@@ -97,51 +97,79 @@ void ThreadPool::ParallelFor(size_t n,
 
   // Dynamic index dispenser: workers and the calling thread pull the next
   // index until exhausted, so uneven per-unit costs (bins of different
-  // padded sizes) still balance. A throw from fn (worker or caller) stops
-  // the dispenser, but every helper is always joined before this returns —
-  // callers capture stack locals by reference, so returning (or unwinding)
-  // while a helper still runs would be use-after-scope. The first exception
-  // is rethrown on the calling thread once all helpers are done.
-  auto next = std::make_shared<std::atomic<size_t>>(0);
-  auto done = std::make_shared<std::atomic<size_t>>(0);
-  auto done_mu = std::make_shared<std::mutex>();
-  auto done_cv = std::make_shared<std::condition_variable>();
-  auto first_error = std::make_shared<std::exception_ptr>();
+  // padded sizes) still balance.
+  //
+  // Completion protocol: the caller waits until every index is dispensed
+  // AND no drain is still inside fn — NOT until every submitted helper
+  // task has been executed. A helper still sitting in the queue when the
+  // dispenser runs dry will, whenever it finally runs, dispense i >= n
+  // and return without touching fn, so it may safely outlive this call
+  // (its closure holds only shared_ptr control state plus an un-invoked
+  // copy of fn). The distinction is load-bearing for deadlock freedom on
+  // a process-wide shared pool: every worker can be busy with an
+  // unrelated task that blocks on a lock the caller currently holds
+  // (e.g. a batch-scheduled query waiting for the epoch lock a fetch
+  // fan-out's caller took shared) — if completion required those workers
+  // to execute our helpers, this wait could never end. The caller's own
+  // drain guarantees progress even if no helper ever runs.
+  //
+  // A throw from fn (worker or caller) stops the dispenser; the wait
+  // still covers every drain that entered fn — callers capture stack
+  // locals by reference, so returning (or unwinding) while fn runs
+  // elsewhere would be use-after-scope — and the first exception is
+  // rethrown on the calling thread.
+  struct Control {
+    std::atomic<size_t> next{0};
+    size_t n = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t live = 0;  // Drains between registration and their last index.
+    std::exception_ptr first_error;
+  };
+  auto ctl = std::make_shared<Control>();
+  ctl->n = n;
 
   // `worker` is this drain's slot: 0 for the calling thread, i+1 for the
   // i-th helper task. Each slot is driven by exactly one thread at a time.
-  auto drain = [this, next, fn, n, done_mu, first_error](size_t worker) {
+  auto drain = [this, ctl, fn](size_t worker) {
+    {
+      // Register BEFORE dispensing, so the caller's completion predicate
+      // (all dispensed && live == 0) can never miss a drain that is
+      // about to enter fn.
+      std::lock_guard<std::mutex> lock(ctl->mu);
+      ++ctl->live;
+    }
     InParallelForGuard guard(this, worker);
     for (;;) {
-      const size_t i = next->fetch_add(1);
-      if (i >= n) return;
+      const size_t i = ctl->next.fetch_add(1);
+      if (i >= ctl->n) break;
       try {
         fn(i, worker);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(*done_mu);
-        if (!*first_error) *first_error = std::current_exception();
-        next->store(n);  // Stop dispensing further indices.
-        return;
+        std::lock_guard<std::mutex> lock(ctl->mu);
+        if (!ctl->first_error) ctl->first_error = std::current_exception();
+        ctl->next.store(ctl->n);  // Stop dispensing further indices.
+        break;
       }
     }
+    {
+      std::lock_guard<std::mutex> lock(ctl->mu);
+      --ctl->live;
+    }
+    ctl->cv.notify_all();
   };
 
   const size_t helpers = std::min(workers_.size(), n - 1);
   for (size_t w = 0; w < helpers; ++w) {
-    Submit([drain, done, done_mu, done_cv, w] {
-      drain(w + 1);
-      {
-        std::lock_guard<std::mutex> lock(*done_mu);
-        done->fetch_add(1);
-      }
-      done_cv->notify_one();
-    });
+    Submit([drain, w] { drain(w + 1); });
   }
   drain(0);
 
-  std::unique_lock<std::mutex> lock(*done_mu);
-  done_cv->wait(lock, [done, helpers] { return done->load() == helpers; });
-  if (*first_error) std::rethrow_exception(*first_error);
+  std::unique_lock<std::mutex> lock(ctl->mu);
+  ctl->cv.wait(lock, [&ctl] {
+    return ctl->live == 0 && ctl->next.load() >= ctl->n;
+  });
+  if (ctl->first_error) std::rethrow_exception(ctl->first_error);
 }
 
 }  // namespace concealer

@@ -34,8 +34,13 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n) across the pool and waits for all of them.
   /// fn must be safe to invoke concurrently for distinct indices. The
   /// calling thread participates, so a 1-thread pool degenerates to a
-  /// serial loop with no cross-thread handoff. If fn throws, every helper
-  /// is still joined before the first exception is rethrown here. Nested
+  /// serial loop with no cross-thread handoff, and — because completion
+  /// waits only for drains actually executing fn, never for queued helper
+  /// tasks to be scheduled — the call finishes even when every worker is
+  /// stuck in unrelated work (e.g. blocked on a lock the caller holds: a
+  /// shared service pool's batch tasks waiting on an epoch lock held by a
+  /// fetch fan-out's caller). If fn throws, every drain inside fn is
+  /// still waited out before the first exception is rethrown here. Nested
   /// calls on the SAME pool (fn invoking this pool's ParallelFor again)
   /// are detected and run inline — they get no extra parallelism, but they
   /// cannot deadlock the pool. Nesting across distinct pools parallelizes

@@ -136,7 +136,16 @@ Status ServiceProvider::Recover() {
 
 void ServiceProvider::set_num_threads(uint32_t n) {
   config_.num_threads = n;
+  // An explicit thread-count request means "give me my own pool of n":
+  // detach any injected shared pool so benches sweeping thread counts
+  // measure exactly the parallelism they asked for.
+  shared_pool_ = nullptr;
   pool_ = n > 1 ? std::make_unique<ThreadPool>(n) : nullptr;
+}
+
+void ServiceProvider::set_shared_pool(ThreadPool* pool) {
+  shared_pool_ = pool;
+  if (pool != nullptr) pool_.reset();
 }
 
 Status ServiceProvider::LoadRegistry(Slice encrypted_registry) {
@@ -298,8 +307,9 @@ Status ServiceProvider::ExecuteOnEpoch(EpochState* state, const Query& query,
   // answers are identical to the single-threaded path.
   std::unordered_set<std::string> seen_rows;
   QueryExecutor::FilterCache filter_cache;
-  return executor_.ExecuteUnitsParallel(*state, query, *units, pool_.get(),
-                                        agg, &seen_rows, &filter_cache);
+  ThreadPool* pool = shared_pool_ != nullptr ? shared_pool_ : pool_.get();
+  return executor_.ExecuteUnitsParallel(*state, query, *units, pool, agg,
+                                        &seen_rows, &filter_cache);
 }
 
 Status ServiceProvider::ExecuteOnEpochDynamic(EpochState* state,

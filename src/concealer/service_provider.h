@@ -100,9 +100,18 @@ class ServiceProvider {
   /// Resizes the fetch worker pool at runtime (benches sweep thread counts
   /// on one ingested pipeline). <= 1 reverts to the serial path; answers
   /// are identical either way. No effect in dynamic mode (§6), whose
-  /// per-bin re-encryption loop is inherently serial.
+  /// per-bin re-encryption loop is inherently serial. Reverts to an OWNED
+  /// pool: any shared pool injected via set_shared_pool is detached.
   void set_num_threads(uint32_t n);
   uint32_t num_threads() const { return config_.num_threads; }
+
+  /// Injects a process-wide fetch pool shared across tenants (null
+  /// detaches; the pool must outlive this provider). While attached, the
+  /// provider's own pool is released — every fetch fan-out runs on the
+  /// shared pool, so the per-pool nesting guard (common/thread_pool.h)
+  /// applies uniformly when the service scheduler and the fetch path share
+  /// one pool. Call during setup only, like set_work_cache.
+  void set_shared_pool(ThreadPool* pool);
 
   /// Attaches the cross-query enclave-work cache shared by the service
   /// layer (null detaches). Call during setup only — not concurrently with
@@ -202,11 +211,14 @@ class ServiceProvider {
   /// Table size at the last index-sidecar dump (geometric persistence —
   /// see IngestEpoch).
   uint64_t sidecar_rows_ = 0;
-  /// Workers for the parallel fetch path; null when num_threads <= 1. Lives
-  /// on the untrusted side of the simulated boundary — see
-  /// docs/ARCHITECTURE.md — but workers only run enclave-side per-unit work
-  /// on disjoint state.
+  /// Workers for the parallel fetch path; null when num_threads <= 1 or a
+  /// shared pool is attached. Lives on the untrusted side of the simulated
+  /// boundary — see docs/ARCHITECTURE.md — but workers only run
+  /// enclave-side per-unit work on disjoint state.
   std::unique_ptr<ThreadPool> pool_;
+  /// Non-owned process-wide pool (tenant registry injection); overrides
+  /// pool_ while set.
+  ThreadPool* shared_pool_ = nullptr;
   bool dynamic_mode_ = false;
   uint32_t super_bin_factor_ = 0;
   /// The service layer's cache, remembered so mode switches can

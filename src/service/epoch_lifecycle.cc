@@ -4,6 +4,115 @@
 
 namespace concealer {
 
+// --- HotEpochBudget ---------------------------------------------------------
+
+uint64_t HotEpochBudget::Register() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_tenant_++;
+}
+
+void HotEpochBudget::Unregister(uint64_t tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = by_stamp_.begin(); it != by_stamp_.end();) {
+    if (it->second.tenant != tenant) {
+      ++it;
+      continue;
+    }
+    if (it->second.marked) --marked_;
+    stamp_of_.erase({tenant, it->second.epoch});
+    it = by_stamp_.erase(it);
+  }
+  debt_.erase(tenant);
+  RebalanceLocked();
+}
+
+void HotEpochBudget::RebalanceLocked() {
+  const size_t want =
+      (cap_ > 0 && by_stamp_.size() > cap_) ? by_stamp_.size() - cap_ : 0;
+  if (marked_ > want) {
+    // Fewer victims needed (an eviction or drop landed): rescue the
+    // hottest marked epochs first.
+    for (auto it = by_stamp_.rbegin(); it != by_stamp_.rend() && marked_ > want;
+         ++it) {
+      if (!it->second.marked) continue;
+      it->second.marked = false;
+      --marked_;
+      --debt_[it->second.tenant];
+    }
+  }
+  // More victims needed: one cold-to-hot pass marking unmarked slots
+  // until enough are selected (the marked set stays the coldness prefix).
+  for (auto it = by_stamp_.begin(); it != by_stamp_.end() && marked_ < want;
+       ++it) {
+    if (it->second.marked) continue;
+    it->second.marked = true;
+    ++marked_;
+    ++debt_[it->second.tenant];
+    ++steals_;
+  }
+}
+
+void HotEpochBudget::Touch(uint64_t tenant, uint64_t epoch_id) {
+  // Unbounded budget: no mark can ever be assigned, so skip the global
+  // bookkeeping entirely — Touch sits on every query's shared-lock fast
+  // path, and cap 0 is the registry default.
+  if (cap_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::pair<uint64_t, uint64_t> key{tenant, epoch_id};
+  auto it = stamp_of_.find(key);
+  if (it != stamp_of_.end()) {
+    auto ent = by_stamp_.find(it->second);
+    if (ent->second.marked) {
+      --marked_;
+      --debt_[tenant];
+    }
+    by_stamp_.erase(ent);
+    stamp_of_.erase(it);
+  }
+  const uint64_t stamp = ++clock_;
+  by_stamp_[stamp] = Entry{tenant, epoch_id, false};
+  stamp_of_[key] = stamp;
+  RebalanceLocked();
+}
+
+void HotEpochBudget::OnEvicted(uint64_t tenant, uint64_t epoch_id) {
+  if (cap_ == 0) return;  // Nothing was ever recorded (see Touch).
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stamp_of_.find({tenant, epoch_id});
+  if (it == stamp_of_.end()) return;
+  auto ent = by_stamp_.find(it->second);
+  if (ent->second.marked) {
+    --marked_;
+    --debt_[tenant];
+  }
+  by_stamp_.erase(ent);
+  stamp_of_.erase(it);
+  RebalanceLocked();
+}
+
+size_t HotEpochBudget::PendingReclaim(uint64_t tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = debt_.find(tenant);
+  return it == debt_.end() ? 0 : it->second;
+}
+
+size_t HotEpochBudget::TotalDebt() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return marked_;
+}
+
+HotEpochBudget::Stats HotEpochBudget::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.cap = cap_;
+  stats.resident = by_stamp_.size();
+  stats.debt = marked_;
+  stats.steals = steals_;
+  return stats;
+}
+
+// --- EpochLifecycleManager --------------------------------------------------
+
 void EpochLifecycleManager::BumpLocked(uint64_t epoch_id) {
   auto it = pos_.find(epoch_id);
   if (it != pos_.end()) {
@@ -12,6 +121,18 @@ void EpochLifecycleManager::BumpLocked(uint64_t epoch_id) {
     lru_.push_front(epoch_id);
     pos_[epoch_id] = lru_.begin();
   }
+  if (options_.budget != nullptr) options_.budget->Touch(tenant_, epoch_id);
+}
+
+Status EpochLifecycleManager::EvictOneLocked(
+    std::list<uint64_t>::iterator victim) {
+  const uint64_t epoch_id = *victim;
+  CONCEALER_RETURN_IF_ERROR(provider_->EvictEpochRows(epoch_id));
+  pos_.erase(epoch_id);
+  lru_.erase(victim);
+  ++evictions_;
+  if (options_.budget != nullptr) options_.budget->OnEvicted(tenant_, epoch_id);
+  return Status::OK();
 }
 
 Status EpochLifecycleManager::EvictBeyondCapLocked(
@@ -24,10 +145,30 @@ Status EpochLifecycleManager::EvictBeyondCapLocked(
     --it;
     const uint64_t victim = *it;
     if (std::find(keep.begin(), keep.end(), victim) != keep.end()) continue;
-    CONCEALER_RETURN_IF_ERROR(provider_->EvictEpochRows(victim));
-    pos_.erase(victim);
-    it = lru_.erase(it);
-    ++evictions_;
+    auto doomed = it++;  // Keep a valid cursor across the erase.
+    CONCEALER_RETURN_IF_ERROR(EvictOneLocked(doomed));
+  }
+  return Status::OK();
+}
+
+Status EpochLifecycleManager::EvictForBudgetLocked(
+    const std::vector<uint64_t>& keep) {
+  if (options_.budget == nullptr) return Status::OK();
+  // The budget marked this tenant's globally-coldest epochs as victims; pay
+  // the debt by evicting from the local cold end (the orders agree: both
+  // are bumped by the same touches). Skipping `keep` can leave debt unpaid
+  // — transient overshoot the next reclaim settles.
+  while (options_.budget->PendingReclaim(tenant_) > 0 && !lru_.empty()) {
+    auto it = lru_.end();
+    bool evicted = false;
+    while (it != lru_.begin()) {
+      --it;
+      if (std::find(keep.begin(), keep.end(), *it) != keep.end()) continue;
+      CONCEALER_RETURN_IF_ERROR(EvictOneLocked(it));
+      evicted = true;
+      break;
+    }
+    if (!evicted) break;  // Every resident epoch is needed right now.
   }
   return Status::OK();
 }
@@ -35,7 +176,8 @@ Status EpochLifecycleManager::EvictBeyondCapLocked(
 Status EpochLifecycleManager::OnEpochAdmitted(uint64_t epoch_id) {
   std::lock_guard<std::mutex> lock(mu_);
   BumpLocked(epoch_id);
-  return EvictBeyondCapLocked({epoch_id});
+  CONCEALER_RETURN_IF_ERROR(EvictBeyondCapLocked({epoch_id}));
+  return EvictForBudgetLocked({epoch_id});
 }
 
 bool EpochLifecycleManager::ResidentForQuery(const Query& query) const {
@@ -55,13 +197,19 @@ Status EpochLifecycleManager::EnsureResidentForQuery(const Query& query) {
     }
     BumpLocked(eid);
   }
-  return EvictBeyondCapLocked(needed);
+  CONCEALER_RETURN_IF_ERROR(EvictBeyondCapLocked(needed));
+  return EvictForBudgetLocked(needed);
 }
 
 void EpochLifecycleManager::TouchForQuery(const Query& query) {
   const std::vector<uint64_t> needed = provider_->EpochIdsForQuery(query);
   std::lock_guard<std::mutex> lock(mu_);
   for (uint64_t eid : needed) BumpLocked(eid);
+}
+
+Status EpochLifecycleManager::ReclaimToBudget() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EvictForBudgetLocked({});
 }
 
 EpochLifecycleManager::Stats EpochLifecycleManager::stats() const {

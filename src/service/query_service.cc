@@ -48,17 +48,30 @@ QueryService::QueryService(std::unique_ptr<ServiceProvider> provider,
                               .count())) {
   if (options_.max_inflight == 0) options_.max_inflight = 1;
   if (options_.enable_work_cache) {
+    // Deliberately per-service even behind a tenant registry: cache
+    // entries are ciphertexts under THIS tenant's keys, so sharing a map
+    // across tenants could only ever serve a wrong-key entry or leak one
+    // tenant's (encrypted) access history into another's cache timing.
     work_cache_ = std::make_unique<EnclaveWorkCache>(
         options_.cache_shards, options_.cache_max_entries);
     provider_->set_work_cache(work_cache_.get());
   }
+  if (options_.shared_pool != nullptr) {
+    provider_->set_shared_pool(options_.shared_pool);
+  }
+  const bool segment_backed =
+      provider_->storage_options().engine == StorageOptions::Engine::kMmap;
   // Epoch tiering engages for segment-backed providers (mmap engine) or an
-  // explicit hot cap; the plain in-memory provider needs neither.
-  if (provider_->storage_options().engine == StorageOptions::Engine::kMmap ||
-      options_.max_hot_epochs > 0) {
+  // explicit hot cap; the plain in-memory provider needs neither. The
+  // shared cross-tenant budget only governs segment-backed providers —
+  // the in-memory engine cannot release row memory, so counting it
+  // against the budget would starve tenants that can.
+  if (segment_backed || options_.max_hot_epochs > 0) {
     lifecycle_ = std::make_unique<EpochLifecycleManager>(
         provider_.get(),
-        EpochLifecycleManager::Options{options_.max_hot_epochs});
+        EpochLifecycleManager::Options{
+            options_.max_hot_epochs,
+            segment_backed ? options_.hot_budget : nullptr});
     // A provider recovered via ServiceProvider::Open already holds epochs:
     // admit them coldest-first (ascending id), so the most recent data
     // stays hot and anything beyond the cap is evicted right away instead
@@ -75,8 +88,15 @@ QueryService::QueryService(std::unique_ptr<ServiceProvider> provider,
       }
     }
   }
-  scheduler_ = std::make_unique<ThreadPool>(
-      options_.scheduler_threads == 0 ? 1 : options_.scheduler_threads);
+  if (options_.shared_pool == nullptr) {
+    scheduler_ = std::make_unique<ThreadPool>(
+        options_.scheduler_threads == 0 ? 1 : options_.scheduler_threads);
+  }
+}
+
+ThreadPool* QueryService::scheduler_pool() {
+  return options_.shared_pool != nullptr ? options_.shared_pool
+                                         : scheduler_.get();
 }
 
 QueryService::~QueryService() { provider_->set_work_cache(nullptr); }
@@ -196,7 +216,7 @@ std::vector<StatusOr<QueryResult>> QueryService::ExecuteBatch(
     const std::vector<SessionQuery>& batch) {
   std::vector<StatusOr<QueryResult>> results(
       batch.size(), StatusOr<QueryResult>(Status::Internal("not executed")));
-  scheduler_->ParallelFor(batch.size(), [&](size_t i) {
+  scheduler_pool()->ParallelFor(batch.size(), [&](size_t i) {
     results[i] = Execute(batch[i].token, batch[i].query);
   });
   return results;
@@ -214,6 +234,16 @@ StatusOr<QueryResult> QueryService::DecryptResult(Slice proof,
 
 void QueryService::ClearWorkCache() {
   if (work_cache_ != nullptr) work_cache_->Clear();
+}
+
+Status QueryService::ReclaimColdEpochs() {
+  if (lifecycle_ == nullptr || lifecycle_->pending_reclaim() == 0) {
+    return Status::OK();
+  }
+  // Residency changes invalidate concurrent readers' row borrows, so the
+  // eviction runs under the exclusive epoch lock like ingest does.
+  std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+  return lifecycle_->ReclaimToBudget();
 }
 
 QueryService::CacheStats QueryService::cache_stats() const {

@@ -45,6 +45,18 @@ struct QueryServiceOptions {
   /// evicted to disk and reloaded on demand. 0 = unbounded. No effect on
   /// the in-memory engine (see EpochLifecycleManager).
   size_t max_hot_epochs = 0;
+  /// Process-wide worker pool injected by the tenant registry (null = this
+  /// service owns its pools, the pre-registry behavior). When set, BOTH
+  /// the batch scheduler and the provider's fetch fan-out run on it —
+  /// N tenants share one pool instead of spawning N schedulers plus N
+  /// fetch pools, and the per-pool nesting guard keeps the composed
+  /// fan-outs deadlock-free. Non-owned; must outlive the service.
+  ThreadPool* shared_pool = nullptr;
+  /// Cross-tenant hot-epoch budget injected by the tenant registry (null =
+  /// only the local max_hot_epochs cap applies). Engaged for segment-backed
+  /// (mmap) providers, whose residency is what actually costs memory.
+  /// Non-owned; must outlive the service.
+  HotEpochBudget* hot_budget = nullptr;
   /// Test hook: fake clock for session expiry (seconds, monotonic).
   SessionManager::Clock clock;
 };
@@ -165,6 +177,13 @@ class QueryService {
   /// quiesced.
   void ClearWorkCache();
 
+  /// Pays off this tenant's share of the shared hot-epoch budget's reclaim
+  /// debt (see HotEpochBudget): takes the exclusive epoch lock and evicts
+  /// this tenant's coldest epochs. No-op without a lifecycle manager, a
+  /// budget, or debt. Safe from any thread; the registry drains debtor
+  /// tenants through this after traffic.
+  Status ReclaimColdEpochs();
+
  private:
   /// RAII admission slot: blocks in the constructor until the in-flight
   /// count drops below max_inflight.
@@ -177,13 +196,18 @@ class QueryService {
   /// Admission gate + epoch lock + provider execution.
   StatusOr<QueryResult> ExecuteAuthorized(const Query& query);
 
+  /// The batch scheduler: the injected shared pool when one was
+  /// configured, the owned scheduler_ otherwise.
+  ThreadPool* scheduler_pool();
+
   QueryServiceOptions options_;
   std::unique_ptr<ServiceProvider> provider_;
   std::unique_ptr<EnclaveWorkCache> work_cache_;  // Null when disabled.
   /// Hot/cold epoch tiering over the provider's segment-backed engine;
-  /// null for plain in-memory providers with no hot cap.
+  /// null for plain in-memory providers with no hot cap or shared budget.
   std::unique_ptr<EpochLifecycleManager> lifecycle_;
   SessionManager sessions_;
+  /// Owned scheduler; null when options_.shared_pool serves instead.
   std::unique_ptr<ThreadPool> scheduler_;
   /// First failure admitting a recovered epoch at construction; see
   /// recovery_status().

@@ -1,6 +1,7 @@
 #include "service/session_manager.h"
 
 #include <chrono>
+#include <cstdio>
 
 #include "common/coding.h"
 #include "common/hex.h"
@@ -17,6 +18,30 @@ uint64_t SteadySeconds() {
                                    .count());
 }
 
+/// Token-PRNG seed: per-instance and unpredictable. A coarse clock-only
+/// seed gave every SessionManager constructed in the same second the SAME
+/// token stream — behind a tenant registry that meant tenant A's token
+/// string literally existed in tenant B's session table. The seed now
+/// comes from OS entropy (so the xoshiro token stream cannot be
+/// reproduced by bounding the process start time), with a per-instance
+/// counter ⊕ nanosecond clock as the fallback mix if /dev/urandom is
+/// unavailable — the fallback restores only distinctness, not
+/// unpredictability, matching the header's bearer-handle caveat.
+uint64_t TokenSeed() {
+  static std::atomic<uint64_t> instance{0};
+  const uint64_t n = instance.fetch_add(1, std::memory_order_relaxed);
+  uint64_t seed = 0;
+  std::FILE* urandom = std::fopen("/dev/urandom", "rb");
+  if (urandom != nullptr) {
+    const size_t got = std::fread(&seed, 1, sizeof(seed), urandom);
+    std::fclose(urandom);
+    if (got == sizeof(seed)) return seed ^ n;
+  }
+  const uint64_t nanos = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return 0x5e551045 ^ nanos ^ (n << 48) ^ n;
+}
+
 }  // namespace
 
 SessionManager::SessionManager(const Enclave* enclave, uint64_t ttl_seconds,
@@ -24,7 +49,7 @@ SessionManager::SessionManager(const Enclave* enclave, uint64_t ttl_seconds,
     : enclave_(enclave),
       ttl_seconds_(ttl_seconds),
       clock_(clock ? std::move(clock) : Clock(SteadySeconds)),
-      token_rng_(0x5e551045 ^ SteadySeconds()) {}
+      token_rng_(TokenSeed()) {}
 
 StatusOr<std::string> SessionManager::Open(const std::string& user_id,
                                            Slice proof) {

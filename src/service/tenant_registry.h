@@ -1,0 +1,231 @@
+#ifndef CONCEALER_SERVICE_TENANT_REGISTRY_H_
+#define CONCEALER_SERVICE_TENANT_REGISTRY_H_
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "concealer/types.h"
+#include "service/epoch_lifecycle.h"
+#include "service/query_service.h"
+
+namespace concealer {
+
+struct TenantRegistryOptions {
+  /// Root directory for persistent tenants: tenant `t`'s segments, epoch
+  /// metas and index sidecar live under `<root_dir>/<t>`. Required when
+  /// `storage.engine == kMmap`; unused for the in-memory engine.
+  std::string root_dir;
+  /// Engine template for every tenant. `dir` is ignored (the registry
+  /// derives the per-tenant subpath); engine and segment_bytes apply.
+  /// Defaults to the CONCEALER_STORAGE_ENGINE toggle, like standalone
+  /// providers.
+  StorageOptions storage = StorageOptions::FromEnv();
+  /// Workers in the process-wide pool shared by every tenant (batch
+  /// scheduler fan-out AND per-query fetch units). 0 = one worker.
+  uint32_t pool_threads = 4;
+  /// Hot-epoch budget across ALL tenants' segment-backed providers
+  /// (HotEpochBudget; 0 = unbounded). Under load, a tenant ingesting or
+  /// reloading takes its residency slot from whichever tenant has gone
+  /// globally coldest.
+  size_t global_hot_epochs = 0;
+  /// Template for each tenant's QueryServiceOptions. `shared_pool` and
+  /// `hot_budget` are overwritten with the registry's own; everything else
+  /// (session TTL, cache sizing, admission cap, local max_hot_epochs)
+  /// applies per tenant.
+  QueryServiceOptions service;
+};
+
+/// The multi-tenant front door (ROADMAP: "shard the service across
+/// tables/providers"): owns one QueryService per tenant — each with its own
+/// ServiceProvider, enclave key material, user registry, work cache and
+/// segment directory — and routes sessions, queries and epoch ingest by
+/// tenant id. The registry arbitrates exactly three shared resources:
+///
+///  1. One process-wide ThreadPool: every tenant's batch scheduler and
+///     fetch fan-out runs on it, so N tenants contend for the machine's
+///     cores in one queue instead of oversubscribing with 2N pools.
+///  2. One HotEpochBudget: mapped-epoch residency is capped globally;
+///     tenants steal slots from globally-cold tenants (LRU), and the
+///     registry drains the resulting reclaim debt after traffic.
+///  3. Nothing else. Key material, sessions, epoch state and the
+///     enclave-work caches are strictly per tenant: a trapdoor or filter
+///     ciphertext minted under tenant A's keys can never be served to — or
+///     even collide with — tenant B's queries, because the caches
+///     themselves never cross the QueryService boundary.
+///
+/// Thread safety: CreateTenant / DropTenant / OpenAll serialize against
+/// each other end to end (one admin mutex spans existence check,
+/// directory open/unlink and map update) and against routing via an
+/// internal reader/writer lock;
+/// routing calls (OpenSession, Query, IngestEpoch, ...) are safe from any
+/// number of threads. A dropped tenant's in-flight queries finish first
+/// (DropTenant blocks until they drain); other tenants are untouched.
+///
+/// Lifetime: the registry must outlive any QueryService* it hands out, and
+/// owns the shared pool and budget its tenants point at.
+class TenantRegistry {
+ public:
+  explicit TenantRegistry(TenantRegistryOptions options);
+  ~TenantRegistry();
+
+  TenantRegistry(const TenantRegistry&) = delete;
+  TenantRegistry& operator=(const TenantRegistry&) = delete;
+
+  // --- Tenant lifecycle -------------------------------------------------
+
+  /// Creates (or, for a persistent engine with an existing non-empty
+  /// directory, recovers) tenant `tenant_id` with its own provider under
+  /// `config` and enclave secret `sk`. Ids are path components: 1-64 chars
+  /// of [A-Za-z0-9._-], not "." or "..". InvalidArgument on a bad id or a
+  /// duplicate.
+  Status CreateTenant(const std::string& tenant_id,
+                      const ConcealerConfig& config, Bytes sk);
+
+  /// Removes the tenant: waits for its in-flight queries to drain,
+  /// destroys its service (sealing the engine), and — for persistent
+  /// tenants — unlinks its segment directory. Other tenants' traffic is
+  /// never blocked or perturbed. NotFound for unknown ids.
+  Status DropTenant(const std::string& tenant_id);
+
+  /// Restart recovery (persistent engines): scans root_dir for tenant
+  /// directories a previous process left behind and re-opens every one,
+  /// recovering its rows, index and epochs. `resolver` supplies each
+  /// tenant's config and enclave secret — key material never touches the
+  /// untrusted disk, so it must arrive out of band, exactly like the DP→
+  /// enclave provisioning it models. Per-tenant outcomes (including
+  /// resolver refusals and open failures) are recorded and queryable via
+  /// recovery_statuses(); the returned status is the first failure, with
+  /// every healthy tenant still open and serving.
+  struct TenantCredentials {
+    ConcealerConfig config;
+    Bytes sk;
+  };
+  using CredentialsResolver =
+      std::function<StatusOr<TenantCredentials>(const std::string& tenant_id)>;
+  Status OpenAll(const CredentialsResolver& resolver);
+
+  // --- Routing (safe from any thread) -----------------------------------
+
+  Status LoadRegistry(const std::string& tenant_id, Slice encrypted_registry);
+  Status IngestEpoch(const std::string& tenant_id, const EncryptedEpoch& epoch);
+  StatusOr<std::string> OpenSession(const std::string& tenant_id,
+                                    const std::string& user_id, Slice proof);
+  void CloseSession(const std::string& tenant_id, const std::string& token);
+  // (concealer::Query spelled out: the method name `Query` hides the type
+  // inside this class scope.)
+  StatusOr<QueryResult> Query(const std::string& tenant_id,
+                              const std::string& token,
+                              const concealer::Query& query);
+  StatusOr<Bytes> QueryEncrypted(const std::string& tenant_id,
+                                 const std::string& token,
+                                 const concealer::Query& query);
+
+  /// One query of a cross-tenant batch.
+  struct TenantQuery {
+    std::string tenant_id;
+    std::string token;
+    concealer::Query query;
+  };
+  /// Fans a mixed-tenant batch out on the shared pool; results[i]
+  /// corresponds to batch[i], failures stay in their own slot.
+  std::vector<StatusOr<QueryResult>> QueryBatch(
+      const std::vector<TenantQuery>& batch);
+
+  // --- Introspection ----------------------------------------------------
+
+  /// The tenant's service, for setup/tests. NotFound for unknown ids. The
+  /// pointer stays valid until the tenant is dropped or the registry dies.
+  StatusOr<QueryService*> tenant(const std::string& tenant_id);
+
+  std::vector<std::string> TenantIds() const;
+  size_t NumTenants() const;
+
+  /// Per-tenant restart-recovery outcome, aggregated by OpenAll: the
+  /// directory-open / resolver / provider-recovery status, or — for
+  /// tenants that opened — the service's own recovery_status() (failed
+  /// hot-set admissions). CreateTenant appends an OK entry.
+  struct TenantRecovery {
+    std::string tenant_id;
+    Status status;
+  };
+  std::vector<TenantRecovery> recovery_statuses() const;
+  /// First non-OK entry of recovery_statuses(), or OK.
+  Status AggregateRecoveryStatus() const;
+
+  /// Evicts until the shared hot-epoch budget is satisfied, one debtor
+  /// tenant at a time (each under only its own epoch lock). The registry's
+  /// background reclaimer runs this whenever traffic leaves debt behind —
+  /// off every client's latency path, so one tenant's eviction I/O never
+  /// inflates another tenant's query tail. Exposed (synchronous) for
+  /// tests/benches that want a settled state to measure; safe concurrently
+  /// with the reclaimer. Returns the first eviction failure.
+  Status ReclaimOverBudget();
+
+  const HotEpochBudget* hot_budget() const { return budget_.get(); }
+  ThreadPool* shared_pool() { return pool_.get(); }
+
+ private:
+  /// Shared-lock lookup returning a liveness-holding ref.
+  StatusOr<std::shared_ptr<QueryService>> Resolve(
+      const std::string& tenant_id) const;
+
+  /// Builds the per-tenant storage options (subpath under root_dir).
+  StatusOr<StorageOptions> TenantStorage(const std::string& tenant_id) const;
+
+  /// Opens one tenant service over `storage` (fresh or recovering) and
+  /// installs it. `recovering` selects the strict Open path.
+  Status OpenTenant(const std::string& tenant_id, const ConcealerConfig& config,
+                    Bytes sk, bool recovering);
+
+  /// Nudges the background reclaimer if traffic left budget debt behind
+  /// (cheap no-op when there is none). Never evicts on the caller's
+  /// thread.
+  void DrainReclaims();
+
+  /// Background reclaimer body: waits for a nudge, settles the budget,
+  /// repeats until shutdown (stderr on eviction failure).
+  void ReclaimLoop();
+
+  /// Replaces the tenant's recovery entry (one entry per tenant; a retried
+  /// OpenAll overwrites the stale outcome). Caller holds mu_ exclusively.
+  void RecordRecoveryLocked(const std::string& tenant_id,
+                            const Status& status);
+
+  TenantRegistryOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<HotEpochBudget> budget_;
+
+  /// Serializes tenant lifecycle (CreateTenant/DropTenant/OpenAll) END TO
+  /// END — existence check, directory open/unlink and map update are one
+  /// critical section, or two concurrent CreateTenant("t") calls could
+  /// both open the same segment directory and the loser's teardown would
+  /// close files the winner is serving. Never taken by routing calls.
+  /// Lock order: admin_mu_ before mu_; nothing is ever taken after mu_.
+  std::mutex admin_mu_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<QueryService>> tenants_;
+  std::vector<TenantRecovery> recovery_;
+
+  /// Background budget reclaimer (see DrainReclaims / ReclaimLoop).
+  std::mutex reclaim_mu_;
+  std::condition_variable reclaim_cv_;
+  bool reclaim_pending_ = false;
+  bool reclaim_stop_ = false;
+  std::thread reclaimer_;
+};
+
+/// True iff `tenant_id` is a valid tenant id (safe path component).
+bool IsValidTenantId(const std::string& tenant_id);
+
+}  // namespace concealer
+
+#endif  // CONCEALER_SERVICE_TENANT_REGISTRY_H_

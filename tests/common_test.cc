@@ -267,6 +267,43 @@ TEST(ThreadPoolTest, WorkerSlotsAreInRangeAndExclusive) {
   }
 }
 
+TEST(ThreadPoolTest, ParallelForCompletesWhileWorkersBlockOnCallerHeldLock) {
+  // Shared-pool deadlock regression: with one process-wide pool, every
+  // worker can be busy with a task that blocks on a lock the ParallelFor
+  // caller holds (a batch-scheduled query waiting on the epoch lock a
+  // fetch fan-out's caller took). ParallelFor's completion must not
+  // require queued helper tasks to be scheduled — the caller's own drain
+  // finishes the loop, the caller releases its lock, and only then do the
+  // blocked workers proceed.
+  ThreadPool pool(2);  // Exactly one background worker to occupy.
+  std::mutex caller_lock;
+  std::atomic<bool> worker_entered{false};
+  std::atomic<bool> worker_done{false};
+
+  std::unique_lock<std::mutex> held(caller_lock);
+  pool.Submit([&] {
+    worker_entered.store(true);
+    std::lock_guard<std::mutex> blocked(caller_lock);  // Held by the caller.
+    worker_done.store(true);
+  });
+  while (!worker_entered.load()) std::this_thread::yield();
+
+  // The pool's only worker is now blocked on caller_lock. The old
+  // completion protocol waited for the submitted helper to EXECUTE and
+  // hung here forever; the caller-drain protocol finishes on its own.
+  std::atomic<size_t> ran{0};
+  pool.ParallelFor(32, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 32u);
+  EXPECT_FALSE(worker_done.load());
+
+  held.unlock();
+  // The worker proceeds and the pool shuts down cleanly (the stale helper
+  // task dispenses an out-of-range index and exits without running fn).
+  while (!worker_done.load()) std::this_thread::yield();
+  pool.ParallelFor(4, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 36u);
+}
+
 TEST(ThreadPoolTest, NestedParallelForKeepsEnclosingWorkerSlot) {
   ThreadPool pool(4);
   std::atomic<bool> mismatch{false};
