@@ -15,9 +15,16 @@
 // exit. A throughput floor (CONCEALER_EXP14_MIN_QPS, default 1 query/s
 // aggregate) guards against the registry collapsing under fan-out.
 //
+// A Zipf-skew QoS sweep follows the main sweep (see RunSkewSweep below):
+// one tenant floods the registry and the LIGHT tenants' p99 is measured
+// against an even-load baseline, gated by CONCEALER_EXP14_MAX_LIGHT_P99_MS.
+//
 // JSON: pass an output path as argv[1] (or set CONCEALER_BENCH_JSON); CI
-// uploads this as an artifact and re-checks gate.isolation_identical.
+// uploads this as an artifact and re-checks gate.isolation_identical. The
+// skew sweep writes its own JSON to argv[2] (or CONCEALER_BENCH_SKEW_JSON).
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -171,6 +178,267 @@ std::string MakeTempRoot() {
   return dir == nullptr ? std::string() : std::string(dir);
 }
 
+// --- Zipf-skew QoS sweep ---------------------------------------------------
+//
+// The isolation gate above proves answers stay correct under contention; this
+// sweep proves LATENCY isolation: one tenant flooding the registry must not
+// drag the other tenants' tail out, because each tenant's work runs in its
+// own DRR scheduling class on the shared pool (see common/thread_pool.h).
+//
+// Two phases over the same 4-tenant in-memory registry:
+//   even: every tenant gets the same client count — the baseline tail.
+//   zipf: client counts follow a Zipf(1) law, so tenant-00 is hit with ~8x
+//         the load of tenant-03 and saturates the pool on its own.
+// Both phases record per-query wall latency; the light tenants (everyone but
+// tenant-00) are merged into one sample set and summarized at p50/p99. Every
+// answer is still byte-compared against the dedicated single-tenant run.
+//
+// Gate: CONCEALER_EXP14_MAX_LIGHT_P99_MS, when set, caps the skewed-phase
+// light-tenant p99 (CI sets it). The even/zipf p99 ratio is always reported
+// and recorded in the JSON so regressions show up even below the cap.
+// JSON: argv[2] or CONCEALER_BENCH_SKEW_JSON.
+
+constexpr int kSkewTenants = 4;
+constexpr int kSkewTotalClients = 16;
+constexpr int kSkewQueriesPerClient = 24;
+
+double PercentileMs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  size_t idx = static_cast<size_t>(std::ceil(p * samples.size()));
+  idx = idx == 0 ? 0 : idx - 1;
+  if (idx >= samples.size()) idx = samples.size() - 1;
+  return samples[idx];
+}
+
+/// Client counts per tenant following a Zipf(1) law over `total` clients
+/// (tenant i's share ~ 1/(i+1)), every tenant keeping at least one client.
+std::vector<int> ZipfClients(int tenants, int total) {
+  double h = 0;
+  for (int i = 0; i < tenants; ++i) h += 1.0 / (i + 1);
+  std::vector<int> clients(tenants);
+  for (int i = 0; i < tenants; ++i) {
+    clients[i] = std::max(
+        1, static_cast<int>(std::lround(total * (1.0 / (i + 1)) / h)));
+  }
+  return clients;
+}
+
+struct SkewPhase {
+  std::string name;
+  std::vector<int> clients;     // Per tenant.
+  double seconds = 0;
+  uint64_t queries = 0;
+  double light_p50_ms = 0;
+  double light_p99_ms = 0;
+  double heavy_p99_ms = 0;
+  bool identical = true;
+};
+
+SkewPhase RunSkewPhase(const std::string& name, TenantRegistry& registry,
+                       const std::vector<TenantData>& tenants,
+                       const std::vector<std::string>& tokens,
+                       const std::vector<Query>& queries,
+                       const std::vector<std::vector<Bytes>>& expected,
+                       const std::vector<int>& clients_per_tenant) {
+  SkewPhase phase;
+  phase.name = name;
+  phase.clients = clients_per_tenant;
+
+  struct ClientRun {
+    int tenant = 0;
+    std::vector<double> latencies_ms;
+    int mismatches = 0;
+  };
+  std::vector<ClientRun> runs;
+  for (int t = 0; t < static_cast<int>(clients_per_tenant.size()); ++t) {
+    for (int c = 0; c < clients_per_tenant[t]; ++c) {
+      runs.push_back(ClientRun{t, {}, 0});
+    }
+  }
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(runs.size());
+  for (size_t r = 0; r < runs.size(); ++r) {
+    threads.emplace_back([&, r] {
+      ClientRun& run = runs[r];
+      run.latencies_ms.reserve(kSkewQueriesPerClient);
+      for (int i = 0; i < kSkewQueriesPerClient; ++i) {
+        const size_t qi = (r + i) % queries.size();
+        Timer timer;
+        auto got = registry.Query(tenants[run.tenant].id, tokens[run.tenant],
+                                  queries[qi]);
+        run.latencies_ms.push_back(timer.ElapsedMillis());
+        if (!got.ok() ||
+            SerializeQueryResult(*got) != expected[run.tenant][qi]) {
+          ++run.mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  phase.seconds = wall.ElapsedSeconds();
+
+  std::vector<double> light, heavy;
+  for (const ClientRun& run : runs) {
+    phase.queries += run.latencies_ms.size();
+    phase.identical = phase.identical && run.mismatches == 0;
+    auto& sink = run.tenant == 0 ? heavy : light;
+    sink.insert(sink.end(), run.latencies_ms.begin(), run.latencies_ms.end());
+  }
+  phase.light_p50_ms = PercentileMs(light, 0.50);
+  phase.light_p99_ms = PercentileMs(light, 0.99);
+  phase.heavy_p99_ms = PercentileMs(heavy, 0.99);
+  return phase;
+}
+
+const char* SkewJsonPath(int argc, char** argv) {
+  if (argc > 2) return argv[2];
+  return std::getenv("CONCEALER_BENCH_SKEW_JSON");
+}
+
+/// Runs the skew sweep end to end; returns true iff the byte-identity check
+/// and the (optional) light-p99 cap both hold.
+bool RunSkewSweep(const std::vector<TenantData>& tenants,
+                  const std::vector<Query>& queries, int argc, char** argv) {
+  std::printf("\n--- zipf skew sweep: light-tenant tail under a flooder ---\n");
+
+  // Dedicated single-tenant references (in-memory engine).
+  std::vector<std::vector<Bytes>> expected(kSkewTenants);
+  for (int i = 0; i < kSkewTenants; ++i) {
+    auto want =
+        DedicatedAnswers(tenants[i], StorageOptions::Engine::kMemory, queries);
+    if (!want.ok()) {
+      std::fprintf(stderr, "dedicated run failed: %s\n",
+                   want.status().ToString().c_str());
+      return false;
+    }
+    expected[i] = std::move(*want);
+  }
+
+  // A deliberately small pool (fewer workers than skewed clients) so the
+  // flooder actually saturates it; equal DRR weights — fairness must come
+  // from the per-tenant queues, not from privileging the light tenants.
+  TenantRegistryOptions options;
+  options.storage.engine = StorageOptions::Engine::kMemory;
+  options.pool_threads = 4;
+  options.service.max_inflight = 64;
+  TenantRegistry registry(options);
+  std::vector<std::string> tokens;
+  for (int i = 0; i < kSkewTenants; ++i) {
+    const TenantData& t = tenants[i];
+    Status st = registry.CreateTenant(t.id, t.config, t.dp->shared_secret(),
+                                      TenantQoS{/*weight=*/1,
+                                                /*max_inflight=*/0});
+    if (st.ok()) st = registry.LoadRegistry(t.id, t.dp->EncryptedRegistry());
+    for (const auto& e : t.epochs) {
+      if (st.ok()) st = registry.IngestEpoch(t.id, e);
+    }
+    StatusOr<std::string> token = registry.OpenSession(t.id, "alice", t.proof);
+    if (st.ok() && !token.ok()) st = token.status();
+    if (!st.ok()) {
+      std::fprintf(stderr, "tenant %s provisioning failed: %s\n", t.id.c_str(),
+                   st.ToString().c_str());
+      return false;
+    }
+    tokens.push_back(*token);
+  }
+
+  const std::vector<int> even(kSkewTenants, kSkewTotalClients / kSkewTenants);
+  const std::vector<int> zipf = ZipfClients(kSkewTenants, kSkewTotalClients);
+  std::vector<SkewPhase> phases;
+  phases.push_back(
+      RunSkewPhase("even", registry, tenants, tokens, queries, expected, even));
+  phases.push_back(
+      RunSkewPhase("zipf", registry, tenants, tokens, queries, expected, zipf));
+
+  std::printf("%6s %18s %8s %10s %12s %12s %12s %10s\n", "phase", "clients/tenant",
+              "queries", "wall(s)", "light-p50", "light-p99", "heavy-p99",
+              "identical");
+  for (const SkewPhase& p : phases) {
+    std::string clients;
+    for (size_t i = 0; i < p.clients.size(); ++i) {
+      clients += (i != 0 ? "/" : "") + std::to_string(p.clients[i]);
+    }
+    std::printf("%6s %18s %8llu %10.3f %10.2fms %10.2fms %10.2fms %10s\n",
+                p.name.c_str(), clients.c_str(),
+                (unsigned long long)p.queries, p.seconds, p.light_p50_ms,
+                p.light_p99_ms, p.heavy_p99_ms, p.identical ? "yes" : "NO");
+  }
+
+  const SkewPhase& even_phase = phases[0];
+  const SkewPhase& zipf_phase = phases[1];
+  const double ratio = even_phase.light_p99_ms > 0
+                           ? zipf_phase.light_p99_ms / even_phase.light_p99_ms
+                           : 0;
+  const char* cap_env = std::getenv("CONCEALER_EXP14_MAX_LIGHT_P99_MS");
+  const double cap_ms = cap_env != nullptr ? std::atof(cap_env) : 0;
+  const bool cap_pass = cap_ms <= 0 || zipf_phase.light_p99_ms <= cap_ms;
+  const bool identical = even_phase.identical && zipf_phase.identical;
+  std::printf(
+      "light-tenant p99 skewed/even ratio: %.2fx | p99 cap: %s: %s | "
+      "byte-identity: %s\n",
+      ratio,
+      cap_ms > 0 ? (std::to_string(cap_ms) + "ms").c_str() : "unset (report only)",
+      cap_pass ? "PASS" : "FAIL", identical ? "PASS" : "FAIL");
+
+  const char* json_path = SkewJsonPath(argc, argv);
+  if (json_path != nullptr) {
+    bench::JsonWriter j;
+    j.BeginObject();
+    j.Key("bench");
+    j.String("exp14_tenants_skew");
+    j.Key("scale");
+    j.Number(static_cast<uint64_t>(bench::Scale()));
+    j.Key("tenants");
+    j.Number(static_cast<uint64_t>(kSkewTenants));
+    j.Key("pool_threads");
+    j.Number(static_cast<uint64_t>(4));
+    j.Key("queries_per_client");
+    j.Number(static_cast<uint64_t>(kSkewQueriesPerClient));
+    j.Key("phases");
+    j.BeginArray();
+    for (const SkewPhase& p : phases) {
+      j.BeginObject();
+      j.Key("phase");
+      j.String(p.name);
+      j.Key("clients_per_tenant");
+      j.BeginArray();
+      for (int c : p.clients) j.Number(static_cast<uint64_t>(c));
+      j.EndArray();
+      j.Key("queries");
+      j.Number(p.queries);
+      j.Key("seconds");
+      j.Number(p.seconds);
+      j.Key("light_p50_ms");
+      j.Number(p.light_p50_ms);
+      j.Key("light_p99_ms");
+      j.Number(p.light_p99_ms);
+      j.Key("heavy_p99_ms");
+      j.Number(p.heavy_p99_ms);
+      j.Key("identical");
+      j.Bool(p.identical);
+      j.EndObject();
+    }
+    j.EndArray();
+    j.Key("gate");
+    j.BeginObject();
+    j.Key("light_p99_ratio");
+    j.Number(ratio);
+    j.Key("max_light_p99_ms");
+    j.Number(cap_ms);
+    j.Key("cap_pass");
+    j.Bool(cap_pass);
+    j.Key("identical");
+    j.Bool(identical);
+    j.EndObject();
+    j.EndObject();
+    bench::WriteFileOrDie(json_path, j.str());
+  }
+  return cap_pass && identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -315,6 +583,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool skew_pass = RunSkewSweep(tenants, queries, argc, argv);
+
   const bool throughput_pass = worst_qps >= min_qps;
   std::printf(
       "\nisolation gate: every multi-tenant answer byte-identical to its "
@@ -387,5 +657,5 @@ int main(int argc, char** argv) {
   }
 
   bench::PrintFooter();
-  return all_identical && throughput_pass ? 0 : 1;
+  return all_identical && throughput_pass && skew_pass ? 0 : 1;
 }

@@ -10,21 +10,30 @@
 //      sessions and caches stay strictly per tenant.
 //   3. Clients of both tenants fire a mixed batch through the front door;
 //      every answer routes to the right tenant's data.
-//   4. Cross-tenant attacks bounce: one tenant's epochs, registry blob and
+//   4. Per-tenant QoS: tenants are created with DRR scheduling weights and
+//      admission caps. A burst at a capped tenant is shed with Unavailable
+//      plus a retry-after hint instead of queueing unboundedly, and a
+//      well-behaved client rides it out with RetryQuery (service/retry.h)
+//      while the flood is still in progress.
+//   5. Cross-tenant attacks bounce: one tenant's epochs, registry blob and
 //      session tokens are all useless against the other.
-//   5. One tenant is dropped (directory unlinked); the other keeps
+//   6. One tenant is dropped (directory unlinked); the other keeps
 //      serving. The process then "restarts" — OpenAll recovers every
 //      surviving tenant from its segment directory alone.
 //
 // Build: cmake --build build && ./build/multi_tenant_service
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "concealer/data_provider.h"
 #include "concealer/wire.h"
 #include "enclave/registry.h"
+#include "service/retry.h"
 #include "service/tenant_registry.h"
 
 using namespace concealer;  // Example code; library code never does this.
@@ -71,9 +80,10 @@ TenantSetup MakeTenant(const std::string& id, uint8_t key_seed,
   return t;
 }
 
-Status Provision(TenantRegistry* registry, const TenantSetup& t) {
+Status Provision(TenantRegistry* registry, const TenantSetup& t,
+                 const TenantQoS& qos = {}) {
   CONCEALER_RETURN_IF_ERROR(
-      registry->CreateTenant(t.id, t.config, t.dp->shared_secret()));
+      registry->CreateTenant(t.id, t.config, t.dp->shared_secret(), qos));
   CONCEALER_RETURN_IF_ERROR(
       registry->LoadRegistry(t.id, t.dp->EncryptedRegistry()));
   for (const auto& epoch : t.epochs) {
@@ -99,12 +109,26 @@ int main() {
   options.storage.engine = StorageOptions::Engine::kMmap;
   options.pool_threads = 4;    // ONE pool for all tenants' fan-out.
   options.global_hot_epochs = 8;  // ONE residency budget for all tenants.
+  // Over-cap submissions are shed with Unavailable + retry-after instead of
+  // queueing unboundedly (see the backpressure demo below).
+  options.service.reject_over_capacity = true;
 
   {
     TenantRegistry registry(options);
-    if (!Provision(&registry, metro).ok()) return 1;
-    if (!Provision(&registry, campus).ok()) return 1;
-    std::printf("registry hosts %zu tenants: metro-wifi, campus-wifi\n",
+    // metro pays for 3x the scheduling weight; campus is capped at ONE
+    // query in flight, so its burst below actually sheds load.
+    if (!Provision(&registry, metro,
+                   TenantQoS{/*weight=*/3, /*max_inflight=*/0})
+             .ok()) {
+      return 1;
+    }
+    if (!Provision(&registry, campus,
+                   TenantQoS{/*weight=*/1, /*max_inflight=*/1})
+             .ok()) {
+      return 1;
+    }
+    std::printf("registry hosts %zu tenants: metro-wifi (weight 3), "
+                "campus-wifi (weight 1, max 1 in flight)\n",
                 registry.NumTenants());
 
     // --- Sessions route by tenant ---------------------------------------
@@ -128,6 +152,48 @@ int main() {
     std::printf("count(room=4, 00:00-02:00): metro=%llu campus=%llu\n",
                 (unsigned long long)results[0]->count,
                 (unsigned long long)results[1]->count);
+
+    // --- QoS: backpressure at the capped tenant, retry on the client ----
+    // Four greedy clients hammer campus (cap: 1 in flight) with raw
+    // queries: overlapping submissions come back Unavailable with the
+    // service's own retry-after estimate attached. Meanwhile one
+    // well-behaved client runs the SAME query through RetryQuery and must
+    // succeed every time, riding out the rejections it hits.
+    std::atomic<int> shed{0};
+    std::mutex first_mu;
+    std::string first_rejection;
+    std::vector<std::thread> greedy;
+    for (int c = 0; c < 4; ++c) {
+      greedy.emplace_back([&] {
+        for (int i = 0; i < 25; ++i) {
+          auto r = registry.Query("campus-wifi", *campus_token, occupancy);
+          if (!r.ok() && r.status().IsUnavailable()) {
+            ++shed;
+            std::lock_guard<std::mutex> lock(first_mu);
+            if (first_rejection.empty()) {
+              first_rejection = r.status().ToString();
+            }
+          }
+        }
+      });
+    }
+    int patient_ok = 0;
+    std::thread patient([&] {
+      for (int i = 0; i < 5; ++i) {
+        if (RetryQuery(registry, "campus-wifi", *campus_token, occupancy)
+                .ok()) {
+          ++patient_ok;
+        }
+      }
+    });
+    for (auto& g : greedy) g.join();
+    patient.join();
+    std::printf("burst of 100 raw queries at campus: %d shed%s%s\n",
+                shed.load(), first_rejection.empty() ? "" : ", e.g. ",
+                first_rejection.c_str());
+    std::printf("retrying client during the burst: %d/5 succeeded\n",
+                patient_ok);
+    if (patient_ok != 5) return 1;
 
     // --- Isolation: nothing of one tenant works against the other -------
     EncryptedEpoch stolen = metro.epochs[0];

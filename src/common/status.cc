@@ -21,6 +21,8 @@ const char* CodeName(Status::Code code) {
       return "INTERNAL";
     case Status::Code::kUnimplemented:
       return "UNIMPLEMENTED";
+    case Status::Code::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -32,6 +34,9 @@ std::string Status::ToString() const {
   if (!message_.empty()) {
     out += ": ";
     out += message_;
+  }
+  if (retry_after_ms_ != 0) {
+    out += " (retry after " + std::to_string(retry_after_ms_) + "ms)";
   }
   return out;
 }

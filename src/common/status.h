@@ -22,6 +22,7 @@ class Status {
     kFailedPrecondition,
     kInternal,
     kUnimplemented,
+    kUnavailable,
   };
 
   /// Default-constructed status is OK.
@@ -49,6 +50,11 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(Code::kUnimplemented, std::move(msg));
   }
+  /// Transient overload: the caller did nothing wrong and should retry —
+  /// the admission-gate backpressure code (service/admission_gate.h).
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -60,9 +66,20 @@ class Status {
   }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Attaches a backpressure hint: how long (in milliseconds) the caller
+  /// should wait before retrying. Meaningful on kUnavailable; retrying
+  /// clients (service/retry.h) honor it. Returns *this for chaining.
+  Status& WithRetryAfterMs(uint64_t ms) {
+    retry_after_ms_ = ms;
+    return *this;
+  }
+  /// Retry-after hint in milliseconds; 0 = no hint attached.
+  uint64_t retry_after_ms() const { return retry_after_ms_; }
 
   /// Human-readable "CODE: message" string for logging and test output.
   std::string ToString() const;
@@ -72,6 +89,7 @@ class Status {
 
   Code code_;
   std::string message_;
+  uint64_t retry_after_ms_ = 0;
 };
 
 /// Either a value of type `T` or an error `Status`. Accessing the value of a

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <utility>
 
 namespace concealer {
 
@@ -31,9 +32,35 @@ struct InParallelForGuard {
   ~InParallelForGuard() { tls_parallel_for = prev; }
   ParallelForTls prev;
 };
+
+// The scheduling class this thread's submissions are tagged with, per
+// TagScope. One slot suffices (rather than a per-pool map): a thread
+// tagging pool A then submitting to pool B simply falls back to B's
+// default class — tagging is a scheduling hint, never correctness.
+struct SchedTagTls {
+  const ThreadPool* pool = nullptr;
+  uint64_t class_id = 0;
+};
+thread_local SchedTagTls tls_sched_tag;
 }  // namespace
 
+ThreadPool::TagScope::TagScope(ThreadPool* pool, uint64_t class_id)
+    : prev_pool_(tls_sched_tag.pool), prev_class_(tls_sched_tag.class_id) {
+  tls_sched_tag.pool = pool;
+  tls_sched_tag.class_id = class_id;
+}
+
+ThreadPool::TagScope::~TagScope() {
+  tls_sched_tag.pool = prev_pool_;
+  tls_sched_tag.class_id = prev_class_;
+}
+
+uint64_t ThreadPool::CurrentClass() const {
+  return tls_sched_tag.pool == this ? tls_sched_tag.class_id : 0;
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
+  classes_[0];  // The default class: weight 1, never retired.
   // The submitting thread always participates in ParallelFor, so spawn one
   // fewer worker than the requested parallelism.
   const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
@@ -52,12 +79,100 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+uint64_t ThreadPool::RegisterClass(uint32_t weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_class_++;
+  classes_[id].weight = weight == 0 ? 1 : weight;
+  return id;
+}
+
+void ThreadPool::UnregisterClass(uint64_t class_id) {
+  if (class_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = classes_.find(class_id);
+  if (it == classes_.end()) return;
+  if (it->second.queue.empty()) {
+    // Not in the ring (empty queue implies removed from it), safe to drop.
+    classes_.erase(it);
+  } else {
+    // Queued tasks (typically ParallelFor helpers, harmless to run late)
+    // still drain; DequeueLocked erases the class once its queue empties.
+    it->second.retired = true;
+  }
+}
+
+void ThreadPool::SetClassWeight(uint64_t class_id, uint32_t weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = classes_.find(class_id);
+  if (it != classes_.end()) it->second.weight = weight == 0 ? 1 : weight;
+}
+
+ThreadPool::ClassStats ThreadPool::class_stats(uint64_t class_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClassStats stats;
+  auto it = classes_.find(class_id);
+  if (it == classes_.end()) return stats;
+  stats.dispatched = it->second.dispatched;
+  stats.queued = it->second.queue.size();
+  stats.weight = it->second.weight;
+  return stats;
+}
+
+void ThreadPool::Enqueue(uint64_t class_id, std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    auto it = classes_.find(class_id);
+    if (it == classes_.end() || it->second.retired) it = classes_.find(0);
+    SchedClass& cls = it->second;
+    cls.queue.push_back(std::move(task));
+    ++queued_;
+    if (!cls.in_ring) {
+      cls.in_ring = true;
+      ring_.push_back(it->first);
+    }
   }
   cv_.notify_one();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  Enqueue(CurrentClass(), std::move(task));
+}
+
+std::function<void()> ThreadPool::DequeueLocked() {
+  // Deficit round-robin over the active ring: a class reaching the front
+  // with no remaining deficit starts a fresh visit of `weight` servings;
+  // it rotates to the back when the visit is spent or its queue drains
+  // (residual deficit is forfeited, per DRR, so an idle class cannot bank
+  // credit and later burst past its weight).
+  for (;;) {
+    SchedClass& cls = classes_.find(ring_.front())->second;
+    if (cls.queue.empty()) {
+      const uint64_t id = ring_.front();
+      ring_.pop_front();
+      cls.in_ring = false;
+      cls.deficit = 0;
+      if (cls.retired) classes_.erase(id);
+      continue;
+    }
+    if (cls.deficit == 0) cls.deficit = cls.weight;
+    std::function<void()> task = std::move(cls.queue.front());
+    cls.queue.pop_front();
+    --queued_;
+    ++cls.dispatched;
+    --cls.deficit;
+    if (cls.deficit == 0 || cls.queue.empty()) {
+      const uint64_t id = ring_.front();
+      ring_.pop_front();
+      if (cls.queue.empty()) {
+        cls.in_ring = false;
+        cls.deficit = 0;
+        if (cls.retired) classes_.erase(id);
+      } else {
+        ring_.push_back(id);
+      }
+    }
+    return task;
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -65,10 +180,9 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (stop_ && queued_ == 0) return;
+      task = DequeueLocked();
     }
     task();
   }
@@ -111,7 +225,9 @@ void ThreadPool::ParallelFor(size_t n,
   // (e.g. a batch-scheduled query waiting for the epoch lock a fetch
   // fan-out's caller took shared) — if completion required those workers
   // to execute our helpers, this wait could never end. The caller's own
-  // drain guarantees progress even if no helper ever runs.
+  // drain guarantees progress even if no helper ever runs. It is also
+  // what makes DRR safe here: a helper delayed behind other classes'
+  // queues delays only extra parallelism, never completion.
   //
   // A throw from fn (worker or caller) stops the dispenser; the wait
   // still covers every drain that entered fn — callers capture stack
@@ -159,9 +275,17 @@ void ThreadPool::ParallelFor(size_t n,
     ctl->cv.notify_all();
   };
 
+  // Helpers enqueue under — and re-tag their worker thread with — the
+  // calling thread's scheduling class, so any fan-out nested inside fn
+  // (a tenant query's fetch units spawning on a second pool) stays
+  // attributed to the same class as the caller.
+  const uint64_t sched_class = CurrentClass();
   const size_t helpers = std::min(workers_.size(), n - 1);
   for (size_t w = 0; w < helpers; ++w) {
-    Submit([drain, w] { drain(w + 1); });
+    Enqueue(sched_class, [this, drain, sched_class, w] {
+      TagScope tag(this, sched_class);
+      drain(w + 1);
+    });
   }
   drain(0);
 

@@ -77,8 +77,18 @@ struct EnclaveWorkCache {
   /// `max_entries` bounds each map (0 = unbounded): long-lived services
   /// accrue epochs indefinitely, so without a cap the cache would grow
   /// monotonically; a full shard is flushed and repopulated on demand.
+  /// Both maps account their resident bytes (see bytes()/ReleaseBytes) so
+  /// a registry can budget cache memory globally across tenants
+  /// (service/cache_budget.h).
   explicit EnclaveWorkCache(size_t shards = 16, size_t max_entries = 0)
-      : cell_trapdoors(shards, max_entries), el_filters(shards, max_entries) {}
+      : cell_trapdoors(shards, max_entries,
+                       [](const std::vector<Bytes>& trapdoors) {
+                         size_t n = trapdoors.size() * sizeof(Bytes);
+                         for (const Bytes& t : trapdoors) n += t.capacity();
+                         return n;
+                       }),
+        el_filters(shards, max_entries,
+                   [](const Bytes& ct) { return ct.capacity(); }) {}
 
   /// (epoch, key version, cell-id) -> the cell's real trapdoors
   /// E_k(cid‖1..c_tuple[cid]), in counter order. Keyed by key version, so
@@ -95,6 +105,23 @@ struct EnclaveWorkCache {
   void Clear() {
     cell_trapdoors.Clear();
     el_filters.Clear();
+  }
+
+  /// Accounted bytes across both maps.
+  size_t bytes() const { return cell_trapdoors.bytes() + el_filters.bytes(); }
+
+  /// Releases at least `target` accounted bytes (or everything), coldest
+  /// shards first, trapdoors before the (much smaller) filter map. Safe
+  /// concurrently with traffic — values handed out stay alive; future
+  /// queries recompute, which is always correct (entries are keyed by
+  /// epoch/key-version, so recomputation can never resurrect a stale
+  /// ciphertext across key rotations). Returns the bytes released.
+  size_t ReleaseBytes(size_t target) {
+    size_t released = cell_trapdoors.ReleaseBytes(target);
+    if (released < target) {
+      released += el_filters.ReleaseBytes(target - released);
+    }
+    return released;
   }
 };
 

@@ -1,0 +1,89 @@
+#include "service/admission_gate.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace concealer {
+
+namespace {
+uint64_t SteadyNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Hint floor/ceiling: a zero hint would make clients busy-spin, an
+/// unbounded one would park them forever on a transient spike.
+constexpr uint64_t kMinHintMs = 1;
+constexpr uint64_t kMaxHintMs = 10'000;
+/// Before the first completed query there is no service-time sample;
+/// suggest a small fixed pause rather than 0.
+constexpr uint64_t kDefaultHintMs = 5;
+}  // namespace
+
+AdmissionGate::AdmissionGate(uint32_t capacity, bool reject_over_capacity,
+                             ClockMs clock)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      reject_(reject_over_capacity),
+      clock_(clock ? std::move(clock) : ClockMs(&SteadyNowMs)) {}
+
+uint64_t AdmissionGate::HintLocked() const {
+  if (!have_sample_) return kDefaultHintMs;
+  const double per_slot = ewma_ms_ / capacity_;
+  const uint64_t hint = static_cast<uint64_t>(std::ceil(per_slot));
+  return std::min(kMaxHintMs, std::max(kMinHintMs, hint));
+}
+
+StatusOr<AdmissionGate::Slot> AdmissionGate::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (reject_) {
+    if (inflight_ >= capacity_) {
+      ++rejected_;
+      return Status::Unavailable("admission cap reached (" +
+                                 std::to_string(capacity_) +
+                                 " queries in flight)")
+          .WithRetryAfterMs(HintLocked());
+    }
+  } else {
+    cv_.wait(lock, [this] { return inflight_ < capacity_; });
+  }
+  ++inflight_;
+  ++admitted_;
+  return Slot(this, clock_());
+}
+
+void AdmissionGate::Release(uint64_t start_ms) {
+  const uint64_t now = clock_();
+  const double elapsed =
+      static_cast<double>(now >= start_ms ? now - start_ms : 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    // Alpha 1/8: smooth enough that one slow verify query does not triple
+    // every hint, fresh enough to track a load shift within ~10 queries.
+    ewma_ms_ = have_sample_ ? ewma_ms_ + (elapsed - ewma_ms_) / 8 : elapsed;
+    have_sample_ = true;
+  }
+  cv_.notify_one();
+}
+
+AdmissionGate::Stats AdmissionGate::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.capacity = capacity_;
+  stats.inflight = inflight_;
+  stats.admitted = admitted_;
+  stats.rejected = rejected_;
+  stats.ewma_ms = static_cast<uint64_t>(std::llround(ewma_ms_));
+  stats.reject_over_capacity = reject_;
+  return stats;
+}
+
+uint64_t AdmissionGate::RetryAfterHintMs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HintLocked();
+}
+
+}  // namespace concealer

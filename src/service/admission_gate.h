@@ -1,0 +1,110 @@
+#ifndef CONCEALER_SERVICE_ADMISSION_GATE_H_
+#define CONCEALER_SERVICE_ADMISSION_GATE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace concealer {
+
+/// Per-tenant admission control for the query path: at most `capacity`
+/// queries execute at once. Two modes:
+///
+///  - Blocking (the pre-QoS behavior, default): an over-cap arrival waits
+///    inside Admit until a slot frees. Right for in-process embedding,
+///    where the caller's thread IS the completion channel.
+///  - Fail-fast (`reject_over_capacity`): an over-cap arrival gets
+///    Unavailable immediately, with a retry-after hint attached
+///    (Status::retry_after_ms). Right behind a front door serving many
+///    tenants — a saturated tenant sheds ITS OWN load instead of parking
+///    unbounded callers on the shared pool's threads, which is what turns
+///    one tenant's overload into everyone's thread famine.
+///
+/// The retry-after hint is the expected time until a slot frees: an EWMA
+/// of observed query service time divided by the capacity (with `capacity`
+/// slots draining independently, one frees every ewma/capacity on
+/// average). The gate never promises the slot — the hint bounds politeness,
+/// not correctness — and retrying clients (service/retry.h) treat it as a
+/// floor for their backoff.
+///
+/// Thread safety: all methods are safe from any thread (one mutex; Admit
+/// in blocking mode waits on the internal condvar).
+class AdmissionGate {
+ public:
+  /// Injectable monotonic clock in milliseconds; tests drive the
+  /// service-time EWMA deterministically. Default reads steady_clock.
+  using ClockMs = std::function<uint64_t()>;
+
+  /// `capacity` 0 is treated as 1.
+  AdmissionGate(uint32_t capacity, bool reject_over_capacity,
+                ClockMs clock = nullptr);
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Move-only RAII admission slot: releases (and feeds the observed
+  /// service time into the EWMA) on destruction.
+  class Slot {
+   public:
+    Slot(Slot&& other) noexcept
+        : gate_(other.gate_), start_ms_(other.start_ms_) {
+      other.gate_ = nullptr;
+    }
+    Slot& operator=(Slot&&) = delete;
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+    ~Slot() {
+      if (gate_ != nullptr) gate_->Release(start_ms_);
+    }
+
+   private:
+    friend class AdmissionGate;
+    Slot(AdmissionGate* gate, uint64_t start_ms)
+        : gate_(gate), start_ms_(start_ms) {}
+    AdmissionGate* gate_;
+    uint64_t start_ms_;
+  };
+
+  /// Acquires a slot: blocks (blocking mode) or returns Unavailable with a
+  /// retry-after hint (fail-fast mode) when `capacity` queries are already
+  /// in flight.
+  StatusOr<Slot> Admit();
+
+  struct Stats {
+    uint32_t capacity = 0;
+    uint32_t inflight = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;   // Fail-fast refusals issued.
+    uint64_t ewma_ms = 0;    // Current service-time estimate (rounded).
+    bool reject_over_capacity = false;
+  };
+  Stats stats() const;
+
+  /// The hint a rejection issued right now would carry — exposed so the
+  /// service can surface backpressure state without consuming a slot.
+  uint64_t RetryAfterHintMs() const;
+
+ private:
+  void Release(uint64_t start_ms);
+  uint64_t HintLocked() const;
+
+  const uint32_t capacity_;
+  const bool reject_;
+  const ClockMs clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint32_t inflight_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  /// EWMA of query service time in ms (alpha = 1/8), 0 until first sample.
+  double ewma_ms_ = 0;
+  bool have_sample_ = false;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_SERVICE_ADMISSION_GATE_H_

@@ -1,0 +1,94 @@
+#include "service/cache_budget.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace concealer {
+
+uint64_t WorkCacheBudget::Register() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_tenant_++;
+  if (cap_ != 0) tenants_[id];  // bytes 0, stamp 0 (coldest), no debt.
+  return id;
+}
+
+void WorkCacheBudget::Unregister(uint64_t tenant) {
+  if (cap_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  total_bytes_ -= it->second.bytes;
+  tenants_.erase(it);
+  RebalanceLocked();
+}
+
+void WorkCacheBudget::Update(uint64_t tenant, size_t bytes) {
+  if (cap_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  total_bytes_ += bytes;
+  total_bytes_ -= it->second.bytes;
+  it->second.bytes = bytes;
+  it->second.stamp = ++clock_;
+  RebalanceLocked();
+}
+
+void WorkCacheBudget::ReportBytes(uint64_t tenant, size_t bytes) {
+  if (cap_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  total_bytes_ += bytes;
+  total_bytes_ -= it->second.bytes;
+  it->second.bytes = bytes;
+  RebalanceLocked();
+}
+
+void WorkCacheBudget::RebalanceLocked() {
+  size_t required = total_bytes_ > cap_ ? total_bytes_ - cap_ : 0;
+  // Recompute the whole assignment from scratch: tenant counts are small
+  // (one entry per tenant, not per cache entry), and a full recompute
+  // keeps the invariant trivially — sum(owed) covers the overage, coldest
+  // tenants first, nobody owes more than it holds. A tenant whose recency
+  // just advanced is naturally rescued; the debt falls on the next-coldest.
+  std::vector<Tenant*> by_recency;
+  by_recency.reserve(tenants_.size());
+  for (auto& [id, t] : tenants_) by_recency.push_back(&t);
+  std::sort(by_recency.begin(), by_recency.end(),
+            [](const Tenant* a, const Tenant* b) { return a->stamp < b->stamp; });
+  debt_bytes_ = 0;
+  for (Tenant* t : by_recency) {
+    const size_t was_owed = t->owed;
+    t->owed = std::min(t->bytes, required);
+    required -= t->owed;
+    debt_bytes_ += t->owed;
+    if (t->owed > 0 && was_owed == 0) ++steals_;
+  }
+}
+
+size_t WorkCacheBudget::PendingReclaimBytes(uint64_t tenant) const {
+  if (cap_ == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.owed;
+}
+
+size_t WorkCacheBudget::TotalDebtBytes() const {
+  if (cap_ == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return debt_bytes_;
+}
+
+WorkCacheBudget::Stats WorkCacheBudget::stats() const {
+  Stats stats;
+  stats.cap = cap_;
+  if (cap_ == 0) return stats;
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.total_bytes = total_bytes_;
+  stats.debt_bytes = debt_bytes_;
+  stats.steals = steals_;
+  return stats;
+}
+
+}  // namespace concealer

@@ -1,0 +1,105 @@
+#ifndef CONCEALER_SERVICE_CACHE_BUDGET_H_
+#define CONCEALER_SERVICE_CACHE_BUDGET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+namespace concealer {
+
+/// Process-wide byte budget over every tenant's EnclaveWorkCache, the
+/// cache-memory sibling of HotEpochBudget (service/epoch_lifecycle.h): the
+/// per-tenant caches are individually capped by entry count, but N tenants
+/// each within their local cap can still exhaust memory together, so the
+/// registry bounds their TOTAL accounted bytes globally.
+///
+/// Same debt design, with bytes instead of epoch slots: after a tenant's
+/// query touches its cache, the tenant reports its current byte usage
+/// (Update — which also bumps its recency). When the global total exceeds
+/// the cap, the overage is assigned as *reclaim debt* to the coldest
+/// tenants first — an LRU steal: a hot tenant filling its cache takes its
+/// bytes from whichever tenant has gone coldest, never from a fixed
+/// per-tenant quota. Debt is bookkeeping only; the physical release
+/// happens when the owing tenant's service calls
+/// EnclaveWorkCache::ReleaseBytes under that cache's OWN shard locks (its
+/// own post-query check, or the registry's background reclaimer for idle
+/// debtors) and reports the new usage back (ReportBytes). No thread ever
+/// holds one tenant's cache locks while taking another's, so the steal is
+/// deadlock-free by construction; the total can overshoot the cap only
+/// transiently, by the in-flight insertions, and converges as soon as
+/// debtors pay.
+///
+/// Why victims never block the inserting tenant: cache entries are cheap
+/// to recompute and correctness never depends on a hit, so the budget
+/// optimizes for keeping the HOT tenant's entries and re-deriving the cold
+/// tenant's on its next query (keyed by epoch/key-version, so a re-derived
+/// entry can never resurrect stale ciphertexts across key rotations).
+///
+/// Thread safety: all methods are safe from any thread (one internal
+/// mutex). The budget never calls out while holding it.
+class WorkCacheBudget {
+ public:
+  /// `max_bytes` caps accounted cache bytes across ALL registered tenants;
+  /// 0 = unbounded — every call becomes a no-op, keeping the default
+  /// configuration off the query path entirely.
+  explicit WorkCacheBudget(size_t max_bytes) : cap_(max_bytes) {}
+
+  WorkCacheBudget(const WorkCacheBudget&) = delete;
+  WorkCacheBudget& operator=(const WorkCacheBudget&) = delete;
+
+  /// Joins a tenant (one QueryService's work cache); returns its handle.
+  uint64_t Register();
+
+  /// Forgets the tenant and its accounted bytes (DropTenant / teardown).
+  void Unregister(uint64_t tenant);
+
+  /// Reports the tenant's current cache bytes after one of its queries and
+  /// marks it hottest; over the cap, debt is (re)assigned coldest-first.
+  void Update(uint64_t tenant, size_t bytes);
+
+  /// Like Update but WITHOUT the recency bump: debtors report their shrunk
+  /// usage after paying without rescuing themselves from victimhood.
+  void ReportBytes(uint64_t tenant, size_t bytes);
+
+  /// Bytes `tenant` must release to bring the process back under the cap
+  /// (its cache is among the globally coldest).
+  size_t PendingReclaimBytes(uint64_t tenant) const;
+
+  /// Total bytes owed across all tenants (cheap drain predicate).
+  size_t TotalDebtBytes() const;
+
+  struct Stats {
+    size_t cap = 0;
+    size_t total_bytes = 0;  // Sum of last-reported usage, all tenants.
+    size_t debt_bytes = 0;   // Release work currently owed.
+    uint64_t steals = 0;     // Times a tenant was newly assigned debt.
+  };
+  Stats stats() const;
+
+ private:
+  struct Tenant {
+    size_t bytes = 0;
+    uint64_t stamp = 0;   // Recency; larger = hotter.
+    size_t owed = 0;      // Bytes this tenant must release.
+  };
+
+  /// Reassigns debt coldest-first so that sum(owed) covers the overage:
+  /// required = max(0, total - cap), walked in ascending recency, each
+  /// victim owing at most its current bytes. Caller holds mu_.
+  void RebalanceLocked();
+
+  const size_t cap_;
+  mutable std::mutex mu_;
+  uint64_t next_tenant_ = 1;
+  uint64_t clock_ = 0;
+  std::unordered_map<uint64_t, Tenant> tenants_;
+  size_t total_bytes_ = 0;
+  size_t debt_bytes_ = 0;
+  uint64_t steals_ = 0;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_SERVICE_CACHE_BUDGET_H_

@@ -9,28 +9,6 @@
 
 namespace concealer {
 
-class QueryService::AdmissionSlot {
- public:
-  explicit AdmissionSlot(QueryService* service) : service_(service) {
-    std::unique_lock<std::mutex> lock(service_->admit_mu_);
-    service_->admit_cv_.wait(lock, [this] {
-      return service_->inflight_ < service_->options_.max_inflight;
-    });
-    ++service_->inflight_;
-  }
-
-  ~AdmissionSlot() {
-    {
-      std::lock_guard<std::mutex> lock(service_->admit_mu_);
-      --service_->inflight_;
-    }
-    service_->admit_cv_.notify_one();
-  }
-
- private:
-  QueryService* service_;
-};
-
 QueryService::QueryService(std::unique_ptr<ServiceProvider> provider,
                            QueryServiceOptions options)
     : options_(options),
@@ -47,6 +25,9 @@ QueryService::QueryService(std::unique_ptr<ServiceProvider> provider,
                               .time_since_epoch()
                               .count())) {
   if (options_.max_inflight == 0) options_.max_inflight = 1;
+  gate_ = std::make_unique<AdmissionGate>(options_.max_inflight,
+                                          options_.reject_over_capacity,
+                                          options_.admission_clock);
   if (options_.enable_work_cache) {
     // Deliberately per-service even behind a tenant registry: cache
     // entries are ciphertexts under THIS tenant's keys, so sharing a map
@@ -55,6 +36,9 @@ QueryService::QueryService(std::unique_ptr<ServiceProvider> provider,
     work_cache_ = std::make_unique<EnclaveWorkCache>(
         options_.cache_shards, options_.cache_max_entries);
     provider_->set_work_cache(work_cache_.get());
+    if (options_.cache_budget != nullptr) {
+      cache_tenant_ = options_.cache_budget->Register();
+    }
   }
   if (options_.shared_pool != nullptr) {
     provider_->set_shared_pool(options_.shared_pool);
@@ -99,7 +83,12 @@ ThreadPool* QueryService::scheduler_pool() {
                                          : scheduler_.get();
 }
 
-QueryService::~QueryService() { provider_->set_work_cache(nullptr); }
+QueryService::~QueryService() {
+  provider_->set_work_cache(nullptr);
+  if (cache_tenant_ != 0 && options_.cache_budget != nullptr) {
+    options_.cache_budget->Unregister(cache_tenant_);
+  }
+}
 
 Status QueryService::LoadRegistry(Slice encrypted_registry) {
   std::unique_lock<std::shared_mutex> lock(epoch_mu_);
@@ -148,7 +137,25 @@ StatusOr<std::shared_ptr<const SessionState>> QueryService::Authorize(
 }
 
 StatusOr<QueryResult> QueryService::ExecuteAuthorized(const Query& query) {
-  AdmissionSlot slot(this);
+  // Admission first: over-cap work is refused (or queued) before it can
+  // touch locks, the scheduler, or the cache. The slot also feeds the
+  // gate's service-time EWMA, which prices the retry-after hint.
+  StatusOr<AdmissionGate::Slot> slot = gate_->Admit();
+  if (!slot.ok()) return slot.status();
+  if (options_.execute_fault_hook) options_.execute_fault_hook();
+  // Tag this thread with the tenant's scheduling class so every Submit /
+  // ParallelFor the query issues on the shared pool lands in the tenant's
+  // DRR queue (a no-op for class 0 / dedicated pools).
+  ThreadPool::TagScope tag(options_.shared_pool, options_.sched_class);
+  StatusOr<QueryResult> result = ExecuteUnderLocks(query);
+  // Settle cache accounting outside the epoch locks: report usage to the
+  // global budget and pay any debt assigned to us under our own shard
+  // locks only (see service/cache_budget.h for the no-deadlock argument).
+  UpdateCacheBudget();
+  return result;
+}
+
+StatusOr<QueryResult> QueryService::ExecuteUnderLocks(const Query& query) {
   for (;;) {
     if (dynamic_mode_.load(std::memory_order_acquire)) {
       // §6 queries fetch-and-rewrite: rows are re-encrypted, tags
@@ -216,6 +223,10 @@ std::vector<StatusOr<QueryResult>> QueryService::ExecuteBatch(
     const std::vector<SessionQuery>& batch) {
   std::vector<StatusOr<QueryResult>> results(
       batch.size(), StatusOr<QueryResult>(Status::Internal("not executed")));
+  // Tag the fan-out itself: the per-query helpers inherit this class, so a
+  // tenant's whole batch competes under its own DRR weight instead of
+  // flooding the shared pool FIFO-style.
+  ThreadPool::TagScope tag(options_.shared_pool, options_.sched_class);
   scheduler_pool()->ParallelFor(batch.size(), [&](size_t i) {
     results[i] = Execute(batch[i].token, batch[i].query);
   });
@@ -255,7 +266,28 @@ QueryService::CacheStats QueryService::cache_stats() const {
   stats.filter_misses = work_cache_->el_filters.misses();
   stats.trapdoor_entries = work_cache_->cell_trapdoors.size();
   stats.filter_entries = work_cache_->el_filters.size();
+  stats.bytes = work_cache_->bytes();
   return stats;
+}
+
+void QueryService::UpdateCacheBudget() {
+  if (cache_tenant_ == 0 || work_cache_ == nullptr) return;
+  options_.cache_budget->Update(cache_tenant_, work_cache_->bytes());
+  // Self-pay: if the rebalance (this one or an earlier one) left debt on
+  // this tenant, settle it now on the query thread — the common case, which
+  // keeps the registry's background reclaimer for idle debtors only.
+  ReclaimCacheBudget();
+}
+
+void QueryService::ReclaimCacheBudget() {
+  if (cache_tenant_ == 0 || work_cache_ == nullptr) return;
+  WorkCacheBudget* budget = options_.cache_budget;
+  const size_t owed = budget->PendingReclaimBytes(cache_tenant_);
+  if (owed == 0) return;
+  work_cache_->ReleaseBytes(owed);
+  // Report (not Update): shrinking to pay debt must not refresh our
+  // recency stamp, or a debtor could rescue itself from future steals.
+  budget->ReportBytes(cache_tenant_, work_cache_->bytes());
 }
 
 }  // namespace concealer

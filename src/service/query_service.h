@@ -2,8 +2,8 @@
 #define CONCEALER_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -16,6 +16,8 @@
 #include "common/thread_pool.h"
 #include "concealer/service_provider.h"
 #include "concealer/types.h"
+#include "service/admission_gate.h"
+#include "service/cache_budget.h"
 #include "service/epoch_lifecycle.h"
 #include "service/session_manager.h"
 
@@ -26,10 +28,37 @@ struct QueryServiceOptions {
   /// may also drive Execute from their own threads; this pool only bounds
   /// the service-side fan-out.
   uint32_t scheduler_threads = 4;
-  /// Admission cap: at most this many queries execute at once; later
-  /// arrivals block until a slot frees. Backpressure, not a queue — the
-  /// simulation has no async completion channel to deliver results on.
+  /// Admission cap: at most this many queries execute at once. Over-cap
+  /// arrivals either block until a slot frees (default — the in-process
+  /// embedding behavior) or, with reject_over_capacity, fail fast with
+  /// Unavailable + a retry-after hint (see AdmissionGate).
   uint32_t max_inflight = 16;
+  /// Real backpressure: over-cap queries get Unavailable (with a
+  /// retry-after hint on the Status) instead of parking their thread.
+  /// The tenant registry enables this for hosted tenants so one saturated
+  /// tenant sheds its own load rather than tying the shared pool's callers
+  /// up in its queue; retrying clients (service/retry.h) ride it out.
+  bool reject_over_capacity = false;
+  /// Scheduling class on the injected shared pool (ThreadPool::
+  /// RegisterClass): batch fan-out and fetch fan-out submissions are
+  /// tagged with it, so the pool's weighted deficit-round-robin arbitrates
+  /// this tenant against the others at its configured weight. 0 (default)
+  /// = the pool's default class; meaningless without shared_pool.
+  uint64_t sched_class = 0;
+  /// Cross-tenant work-cache byte budget injected by the tenant registry
+  /// (null = only the per-map entry caps apply). The service reports its
+  /// cache bytes after each query and pays any reclaim debt assigned to it
+  /// under its own cache locks (see WorkCacheBudget). Non-owned; must
+  /// outlive the service.
+  WorkCacheBudget* cache_budget = nullptr;
+  /// Test hook: injectable clock for the admission gate's service-time
+  /// EWMA (milliseconds, monotonic).
+  AdmissionGate::ClockMs admission_clock;
+  /// Fault-injection hook for the backpressure tests: runs on the query
+  /// thread while it HOLDS an admission slot, before execution. A hook
+  /// that blocks keeps the slot pinned, letting tests drive a tenant past
+  /// its cap deterministically. Never set in production.
+  std::function<void()> execute_fault_hook;
   /// Session token lifetime (Phase 2 amortization window).
   uint64_t session_ttl_seconds = 24 * 3600;
   /// Share trapdoor/El-filter work across queries (EnclaveWorkCache).
@@ -167,6 +196,7 @@ class QueryService {
     uint64_t filter_misses = 0;
     size_t trapdoor_entries = 0;
     size_t filter_entries = 0;
+    size_t bytes = 0;  // Accounted bytes (what the global budget governs).
   };
   CacheStats cache_stats() const;
 
@@ -184,17 +214,36 @@ class QueryService {
   /// tenants through this after traffic.
   Status ReclaimColdEpochs();
 
- private:
-  /// RAII admission slot: blocks in the constructor until the in-flight
-  /// count drops below max_inflight.
-  class AdmissionSlot;
+  /// Pays off this tenant's share of the shared work-cache byte budget's
+  /// reclaim debt (see WorkCacheBudget): releases this cache's coldest
+  /// shards under its own shard locks and reports the shrunk usage. No-op
+  /// without a budget, a cache, or debt. Safe from any thread; the
+  /// registry's background reclaimer drains idle debtors through this,
+  /// and the query path self-pays after each query.
+  void ReclaimCacheBudget();
 
+  /// Admission-gate state: in-flight count, fail-fast rejections issued,
+  /// current service-time EWMA (what retry-after hints derive from).
+  AdmissionGate::Stats admission_stats() const { return gate_->stats(); }
+
+  /// This tenant's scheduling class on the shared pool (0 = default).
+  uint64_t sched_class() const { return options_.sched_class; }
+
+ private:
   /// Session + authorization checks shared by the query surfaces.
   StatusOr<std::shared_ptr<const SessionState>> Authorize(
       const std::string& token, const Query& query) const;
 
-  /// Admission gate + epoch lock + provider execution.
+  /// Admission gate + scheduling-class tag + epoch lock + provider
+  /// execution + cache-budget settlement.
   StatusOr<QueryResult> ExecuteAuthorized(const Query& query);
+
+  /// Epoch lock + provider execution (the admission slot is already held).
+  StatusOr<QueryResult> ExecuteUnderLocks(const Query& query);
+
+  /// Reports cache bytes to the shared budget (bumping this tenant's
+  /// recency) and self-pays any debt assigned to this tenant.
+  void UpdateCacheBudget();
 
   /// The batch scheduler: the injected shared pool when one was
   /// configured, the owned scheduler_ otherwise.
@@ -221,9 +270,11 @@ class QueryService {
   /// without holding the lock it is choosing.
   std::atomic<bool> dynamic_mode_{false};
 
-  std::mutex admit_mu_;
-  std::condition_variable admit_cv_;
-  uint32_t inflight_ = 0;
+  /// Admission control (blocking or fail-fast per options_; see
+  /// AdmissionGate). Constructed in the ctor after option normalization.
+  std::unique_ptr<AdmissionGate> gate_;
+  /// Handle in the shared work-cache budget, if any.
+  uint64_t cache_tenant_ = 0;
 
   /// Nonce seeds for result encryption (guarded by rng_mu_).
   std::mutex rng_mu_;

@@ -1,0 +1,75 @@
+#ifndef CONCEALER_SERVICE_RETRY_H_
+#define CONCEALER_SERVICE_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+#include "service/tenant_registry.h"
+
+namespace concealer {
+
+/// Client-side policy for riding out admission backpressure
+/// (service/admission_gate.h): Unavailable is a promise that retrying will
+/// eventually succeed, and the attached retry-after hint is the service's
+/// own estimate of when.
+struct RetryOptions {
+  /// Total tries, including the first. The last failure is returned as-is.
+  int max_attempts = 10;
+  /// Backoff when a rejection carries no hint; doubles per retry.
+  uint64_t initial_backoff_ms = 2;
+  /// Ceiling for any single wait, hinted or not.
+  uint64_t max_backoff_ms = 1000;
+  /// Injectable sleep (tests pass a fake and stay wall-time free);
+  /// default really sleeps.
+  std::function<void(uint64_t)> sleep_ms;
+};
+
+/// Runs `fn` (returning StatusOr<T>) until it succeeds, fails with a
+/// non-retryable code, or max_attempts is spent. Waits between attempts:
+/// the server's retry-after hint when one is attached (as a floor under
+/// the growing backoff — a saturated gate's estimate can lag a worsening
+/// queue), exponential backoff otherwise. Only Unavailable is retried:
+/// every other error means retrying cannot help (bad token, bad query,
+/// dropped tenant).
+template <typename Fn>
+auto RetryOnUnavailable(Fn&& fn, const RetryOptions& options = {})
+    -> decltype(fn()) {
+  uint64_t backoff = std::max<uint64_t>(1, options.initial_backoff_ms);
+  for (int attempt = 1;; ++attempt) {
+    auto result = fn();
+    if (result.ok() || !result.status().IsUnavailable() ||
+        attempt >= options.max_attempts) {
+      return result;
+    }
+    const uint64_t hint = result.status().retry_after_ms();
+    const uint64_t wait =
+        std::min(options.max_backoff_ms, std::max(hint, backoff));
+    if (options.sleep_ms) {
+      options.sleep_ms(wait);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    }
+    backoff = std::min(options.max_backoff_ms, backoff * 2);
+  }
+}
+
+/// The common client loop: a tenant query through the registry front door,
+/// retried across backpressure. Used by examples and tests; a network
+/// client would wrap its RPC the same way.
+inline StatusOr<QueryResult> RetryQuery(TenantRegistry& registry,
+                                        const std::string& tenant_id,
+                                        const std::string& token,
+                                        const Query& query,
+                                        const RetryOptions& options = {}) {
+  return RetryOnUnavailable(
+      [&] { return registry.Query(tenant_id, token, query); }, options);
+}
+
+}  // namespace concealer
+
+#endif  // CONCEALER_SERVICE_RETRY_H_

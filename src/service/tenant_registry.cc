@@ -80,6 +80,8 @@ TenantRegistry::TenantRegistry(TenantRegistryOptions options)
       pool_(std::make_unique<ThreadPool>(
           options_.pool_threads == 0 ? 1 : options_.pool_threads)),
       budget_(std::make_unique<HotEpochBudget>(options_.global_hot_epochs)),
+      cache_budget_(
+          std::make_unique<WorkCacheBudget>(options_.global_cache_bytes)),
       reclaimer_([this] { ReclaimLoop(); }) {}
 
 TenantRegistry::~TenantRegistry() {
@@ -130,7 +132,7 @@ StatusOr<StorageOptions> TenantRegistry::TenantStorage(
 
 Status TenantRegistry::OpenTenant(const std::string& tenant_id,
                                   const ConcealerConfig& config, Bytes sk,
-                                  bool recovering) {
+                                  bool recovering, const TenantQoS& qos) {
   StatusOr<StorageOptions> storage = TenantStorage(tenant_id);
   if (!storage.ok()) return storage.status();
 
@@ -155,13 +157,24 @@ Status TenantRegistry::OpenTenant(const std::string& tenant_id,
   QueryServiceOptions service_options = options_.service;
   service_options.shared_pool = pool_.get();
   service_options.hot_budget = budget_.get();
+  service_options.cache_budget = cache_budget_.get();
+  // The tenant's own DRR class on the shared pool: every Submit/ParallelFor
+  // its queries issue is served weight-proportionally against the other
+  // tenants' classes instead of first-come-first-served.
+  service_options.sched_class = pool_->RegisterClass(qos.weight);
+  if (qos.max_inflight != 0) {
+    service_options.max_inflight = qos.max_inflight;
+  }
   auto service =
       std::make_shared<QueryService>(std::move(provider), service_options);
   const Status recovery = service->recovery_status();
 
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
-    if (!tenants_.emplace(tenant_id, std::move(service)).second) {
+    if (!tenants_.emplace(tenant_id, service).second) {
+      lock.unlock();
+      service.reset();  // Seals the engine before the class goes away.
+      pool_->UnregisterClass(service_options.sched_class);
       return Status::InvalidArgument("tenant already exists: " + tenant_id);
     }
     RecordRecoveryLocked(tenant_id, recovery);
@@ -173,7 +186,8 @@ Status TenantRegistry::OpenTenant(const std::string& tenant_id,
 }
 
 Status TenantRegistry::CreateTenant(const std::string& tenant_id,
-                                    const ConcealerConfig& config, Bytes sk) {
+                                    const ConcealerConfig& config, Bytes sk,
+                                    const TenantQoS& qos) {
   if (!IsValidTenantId(tenant_id)) {
     return Status::InvalidArgument("invalid tenant id: '" + tenant_id + "'");
   }
@@ -185,7 +199,8 @@ Status TenantRegistry::CreateTenant(const std::string& tenant_id,
       return Status::InvalidArgument("tenant already exists: " + tenant_id);
     }
   }
-  return OpenTenant(tenant_id, config, std::move(sk), /*recovering=*/false);
+  return OpenTenant(tenant_id, config, std::move(sk), /*recovering=*/false,
+                    qos);
 }
 
 Status TenantRegistry::DropTenant(const std::string& tenant_id) {
@@ -220,7 +235,13 @@ Status TenantRegistry::DropTenant(const std::string& tenant_id) {
 
   const bool persistent = service->provider()->persistent();
   const std::string dir = service->provider()->storage_options().dir;
-  service.reset();  // Seals and closes the engine (and releases budget slots).
+  const uint64_t sched_class = service->sched_class();
+  service.reset();  // Seals and closes the engine (and releases budget slots
+                    // and the tenant's cache-budget registration).
+  // Retire the tenant's scheduling class only after its service is gone:
+  // any helper tasks it queued have drained by now (the drain loop above),
+  // so the class retires empty and the pool erases it on sight.
+  pool_->UnregisterClass(sched_class);
   if (persistent && !dir.empty()) {
     return RemoveTree(dir);
   }
@@ -274,8 +295,8 @@ Status TenantRegistry::OpenAll(const CredentialsResolver& resolver) {
       record_failure(id, creds.status());
       continue;
     }
-    const Status st =
-        OpenTenant(id, creds->config, std::move(creds->sk), /*recovering=*/true);
+    const Status st = OpenTenant(id, creds->config, std::move(creds->sk),
+                                 /*recovering=*/true, TenantQoS{});
     if (!st.ok()) {
       // OpenTenant records the per-tenant entry itself whenever the tenant
       // was installed (even degraded — a failed hot-set admission); only a
@@ -410,7 +431,10 @@ Status TenantRegistry::AggregateRecoveryStatus() const {
 }
 
 Status TenantRegistry::ReclaimOverBudget() {
-  if (budget_ == nullptr || budget_->TotalDebt() == 0) return Status::OK();
+  const bool epoch_debt = budget_ != nullptr && budget_->TotalDebt() != 0;
+  const bool cache_debt =
+      cache_budget_ != nullptr && cache_budget_->TotalDebtBytes() != 0;
+  if (!epoch_debt && !cache_debt) return Status::OK();
   std::vector<std::shared_ptr<QueryService>> snapshot;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -418,11 +442,15 @@ Status TenantRegistry::ReclaimOverBudget() {
     for (const auto& [id, service] : tenants_) snapshot.push_back(service);
   }
   // One tenant at a time: ReclaimColdEpochs takes only that tenant's
-  // epoch lock, so debtors never deadlock against each other.
+  // epoch lock, and ReclaimCacheBudget only that tenant's cache shard
+  // locks, so debtors never deadlock against each other.
   Status first_failure = Status::OK();
   for (const auto& service : snapshot) {
-    const Status st = service->ReclaimColdEpochs();
-    if (!st.ok() && first_failure.ok()) first_failure = st;
+    if (epoch_debt) {
+      const Status st = service->ReclaimColdEpochs();
+      if (!st.ok() && first_failure.ok()) first_failure = st;
+    }
+    if (cache_debt) service->ReclaimCacheBudget();
   }
   return first_failure;
 }
@@ -432,7 +460,10 @@ void TenantRegistry::DrainReclaims() {
   // for another tenant's debt on this caller's thread — a debtor's
   // exclusive epoch lock and eviction I/O must not inflate an innocent
   // tenant's query latency.
-  if (budget_ == nullptr || budget_->TotalDebt() == 0) return;
+  const bool epoch_debt = budget_ != nullptr && budget_->TotalDebt() != 0;
+  const bool cache_debt =
+      cache_budget_ != nullptr && cache_budget_->TotalDebtBytes() != 0;
+  if (!epoch_debt && !cache_debt) return;
   {
     std::lock_guard<std::mutex> lock(reclaim_mu_);
     reclaim_pending_ = true;

@@ -14,10 +14,22 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "concealer/types.h"
+#include "service/cache_budget.h"
 #include "service/epoch_lifecycle.h"
 #include "service/query_service.h"
 
 namespace concealer {
+
+/// Per-tenant quality-of-service knobs, fixed at CreateTenant time.
+struct TenantQoS {
+  /// DRR weight of this tenant's scheduling class on the shared pool: a
+  /// weight-3 tenant is served up to 3 tasks per round for every 1 of a
+  /// weight-1 tenant. 0 is normalized to 1.
+  uint32_t weight = 1;
+  /// Admission cap override: concurrent queries admitted into this
+  /// tenant's service. 0 = use the service template's max_inflight.
+  uint32_t max_inflight = 0;
+};
 
 struct TenantRegistryOptions {
   /// Root directory for persistent tenants: tenant `t`'s segments, epoch
@@ -37,6 +49,12 @@ struct TenantRegistryOptions {
   /// reloading takes its residency slot from whichever tenant has gone
   /// globally coldest.
   size_t global_hot_epochs = 0;
+  /// Enclave-work-cache byte budget across ALL tenants (WorkCacheBudget;
+  /// 0 = unbounded). When the sum of per-tenant cache bytes exceeds it,
+  /// the globally-coldest tenants are assigned reclaim debt, paid after
+  /// their own queries or by the background reclaimer — the caches stay
+  /// strictly per tenant; only the *byte accounting* is shared.
+  size_t global_cache_bytes = 0;
   /// Template for each tenant's QueryServiceOptions. `shared_pool` and
   /// `hot_budget` are overwritten with the registry's own; everything else
   /// (session TTL, cache sizing, admission cap, local max_hot_epochs)
@@ -48,15 +66,23 @@ struct TenantRegistryOptions {
 /// tables/providers"): owns one QueryService per tenant — each with its own
 /// ServiceProvider, enclave key material, user registry, work cache and
 /// segment directory — and routes sessions, queries and epoch ingest by
-/// tenant id. The registry arbitrates exactly three shared resources:
+/// tenant id. The registry arbitrates exactly four shared resources:
 ///
 ///  1. One process-wide ThreadPool: every tenant's batch scheduler and
 ///     fetch fan-out runs on it, so N tenants contend for the machine's
-///     cores in one queue instead of oversubscribing with 2N pools.
+///     cores in one queue instead of oversubscribing with 2N pools. Each
+///     tenant gets its own DRR scheduling class (weight from TenantQoS),
+///     so a flooding tenant is bounded to its weight share of service and
+///     cannot starve the others' queues.
 ///  2. One HotEpochBudget: mapped-epoch residency is capped globally;
 ///     tenants steal slots from globally-cold tenants (LRU), and the
 ///     registry drains the resulting reclaim debt after traffic.
-///  3. Nothing else. Key material, sessions, epoch state and the
+///  3. One WorkCacheBudget: the enclave-work caches' BYTE ACCOUNTING is
+///     capped globally with the same debt design — over the cap, the
+///     globally-coldest tenants owe bytes, paid by shrinking their OWN
+///     cache under their own locks. The cache contents never cross
+///     tenants; only the byte ledger is shared.
+///  4. Nothing else. Key material, sessions, epoch state and the
 ///     enclave-work caches are strictly per tenant: a trapdoor or filter
 ///     ciphertext minted under tenant A's keys can never be served to — or
 ///     even collide with — tenant B's queries, because the caches
@@ -87,8 +113,12 @@ class TenantRegistry {
   /// `config` and enclave secret `sk`. Ids are path components: 1-64 chars
   /// of [A-Za-z0-9._-], not "." or "..". InvalidArgument on a bad id or a
   /// duplicate.
+  /// `qos` fixes the tenant's scheduling weight and admission cap for its
+  /// lifetime (weight-proportional DRR service on the shared pool; see
+  /// common/thread_pool.h).
   Status CreateTenant(const std::string& tenant_id,
-                      const ConcealerConfig& config, Bytes sk);
+                      const ConcealerConfig& config, Bytes sk,
+                      const TenantQoS& qos = {});
 
   /// Removes the tenant: waits for its in-flight queries to drain,
   /// destroys its service (sealing the engine), and — for persistent
@@ -171,6 +201,7 @@ class TenantRegistry {
   Status ReclaimOverBudget();
 
   const HotEpochBudget* hot_budget() const { return budget_.get(); }
+  const WorkCacheBudget* cache_budget() const { return cache_budget_.get(); }
   ThreadPool* shared_pool() { return pool_.get(); }
 
  private:
@@ -184,7 +215,7 @@ class TenantRegistry {
   /// Opens one tenant service over `storage` (fresh or recovering) and
   /// installs it. `recovering` selects the strict Open path.
   Status OpenTenant(const std::string& tenant_id, const ConcealerConfig& config,
-                    Bytes sk, bool recovering);
+                    Bytes sk, bool recovering, const TenantQoS& qos);
 
   /// Nudges the background reclaimer if traffic left budget debt behind
   /// (cheap no-op when there is none). Never evicts on the caller's
@@ -203,6 +234,7 @@ class TenantRegistry {
   TenantRegistryOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<HotEpochBudget> budget_;
+  std::unique_ptr<WorkCacheBudget> cache_budget_;
 
   /// Serializes tenant lifecycle (CreateTenant/DropTenant/OpenAll) END TO
   /// END — existence check, directory open/unlink and map update are one
