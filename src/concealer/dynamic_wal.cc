@@ -1,0 +1,217 @@
+#include "concealer/dynamic_wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "concealer/epoch_io.h"
+#include "storage/fault_fs.h"
+
+namespace concealer {
+
+namespace {
+
+/// A mid-append crash leaves exactly two shapes at the log's end: a frame
+/// header cut short, or a complete header whose body bytes never all
+/// landed. ReadFramedRecord reports both with these messages; anything else
+/// under kCorruption (bad magic, checksum mismatch) means the log was
+/// mangled in place and replay must fail closed.
+bool IsTearSignature(const Status& st) {
+  return st.IsCorruption() &&
+         st.message().rfind("truncated record", 0) == 0;
+}
+
+}  // namespace
+
+Bytes SerializeWalRecord(const WalRecord& record) {
+  size_t need = 8 + 4 + 8 + 8 + 4;
+  for (const auto& rewrite : record.rewrites) {
+    need += 8 + 4;
+    for (const Column& col : rewrite.second.columns) need += 4 + col.size();
+  }
+  need += 4 + record.enc_tag_update.size();
+  Bytes body;
+  body.reserve(need);
+  PutFixed64(&body, record.epoch_id);
+  PutFixed32(&body, record.bin_index);
+  PutFixed64(&body, record.new_version);
+  PutFixed64(&body, record.reenc_counter_after);
+  PutFixed32(&body, static_cast<uint32_t>(record.rewrites.size()));
+  for (const auto& rewrite : record.rewrites) {
+    PutFixed64(&body, rewrite.first);
+    PutFixed32(&body, static_cast<uint32_t>(rewrite.second.columns.size()));
+    for (const Column& col : rewrite.second.columns) {
+      PutLengthPrefixed(&body, col);
+    }
+  }
+  PutLengthPrefixed(&body, record.enc_tag_update);
+  return body;
+}
+
+StatusOr<WalRecord> DeserializeWalRecord(Slice body) {
+  WalRecord record;
+  if (body.size() < 32) return Status::Corruption("wal record truncated");
+  record.epoch_id = DecodeFixed64(body.data());
+  record.bin_index = DecodeFixed32(body.data() + 8);
+  record.new_version = DecodeFixed64(body.data() + 12);
+  record.reenc_counter_after = DecodeFixed64(body.data() + 20);
+  const uint32_t num_rewrites = DecodeFixed32(body.data() + 28);
+  size_t boff = 32;
+  record.rewrites.reserve(num_rewrites);
+  for (uint32_t r = 0; r < num_rewrites; ++r) {
+    if (boff + 12 > body.size()) {
+      return Status::Corruption("wal record truncated in rewrites");
+    }
+    const uint64_t row_id = DecodeFixed64(body.data() + boff);
+    const uint32_t cols = DecodeFixed32(body.data() + boff + 8);
+    boff += 12;
+    if (cols > 64) return Status::Corruption("implausible wal column count");
+    Row row;
+    row.columns.reserve(cols);
+    for (uint32_t c = 0; c < cols; ++c) {
+      Bytes col;
+      if (!GetLengthPrefixed(body, &boff, &col)) {
+        return Status::Corruption("wal record truncated in row columns");
+      }
+      row.columns.emplace_back(std::move(col));
+    }
+    record.rewrites.emplace_back(row_id, std::move(row));
+  }
+  if (!GetLengthPrefixed(body, &boff, &record.enc_tag_update)) {
+    return Status::Corruption("wal record truncated in tag update");
+  }
+  if (boff != body.size()) {
+    return Status::Corruption("trailing bytes after wal record");
+  }
+  return record;
+}
+
+Bytes SerializeTagUpdate(const TagUpdate& update) {
+  Bytes out;
+  out.reserve(4 + update.set.size() * (4 + 96) + 4 + update.erased.size() * 4);
+  PutFixed32(&out, static_cast<uint32_t>(update.set.size()));
+  for (const auto& entry : update.set) {
+    PutFixed32(&out, entry.first);
+    PutBytes(&out, Slice(entry.second.el.data(), entry.second.el.size()));
+    PutBytes(&out, Slice(entry.second.eo.data(), entry.second.eo.size()));
+    PutBytes(&out, Slice(entry.second.er.data(), entry.second.er.size()));
+  }
+  PutFixed32(&out, static_cast<uint32_t>(update.erased.size()));
+  for (uint32_t cid : update.erased) PutFixed32(&out, cid);
+  return out;
+}
+
+StatusOr<TagUpdate> DeserializeTagUpdate(Slice data) {
+  TagUpdate update;
+  if (data.size() < 4) return Status::Corruption("tag update truncated");
+  const uint32_t num_set = DecodeFixed32(data.data());
+  size_t off = 4;
+  for (uint32_t i = 0; i < num_set; ++i) {
+    if (off + 4 + 96 > data.size()) {
+      return Status::Corruption("tag update truncated in tags");
+    }
+    const uint32_t cid = DecodeFixed32(data.data() + off);
+    off += 4;
+    ChainTags tags;
+    std::memcpy(tags.el.data(), data.data() + off, 32);
+    std::memcpy(tags.eo.data(), data.data() + off + 32, 32);
+    std::memcpy(tags.er.data(), data.data() + off + 64, 32);
+    off += 96;
+    update.set.emplace(cid, tags);
+  }
+  if (off + 4 > data.size()) {
+    return Status::Corruption("tag update truncated at erase count");
+  }
+  const uint32_t num_erased = DecodeFixed32(data.data() + off);
+  off += 4;
+  update.erased.reserve(num_erased);
+  for (uint32_t i = 0; i < num_erased; ++i) {
+    if (off + 4 > data.size()) {
+      return Status::Corruption("tag update truncated in erasures");
+    }
+    update.erased.push_back(DecodeFixed32(data.data() + off));
+    off += 4;
+  }
+  if (off != data.size()) {
+    return Status::Corruption("trailing bytes after tag update");
+  }
+  return update;
+}
+
+StatusOr<std::unique_ptr<DynamicWal>> DynamicWal::Open(std::string path) {
+  std::unique_ptr<DynamicWal> wal(new DynamicWal(std::move(path)));
+  struct stat st;
+  if (::stat(wal->path_.c_str(), &st) == 0) {
+    wal->size_ = static_cast<uint64_t>(st.st_size);
+  }
+  return wal;
+}
+
+Status DynamicWal::Append(Slice body) {
+  Bytes framed;
+  AppendFramedRecord(&framed, body);
+  const int fd =
+      ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) return Status::Internal("cannot open wal: " + path_);
+  const bool flushed =
+      fault_fs::Write(fd, framed.data(), framed.size()) ==
+          static_cast<ssize_t>(framed.size()) &&
+      fault_fs::Fsync(fd) == 0;
+  const int rc = ::close(fd);
+  if (!flushed || rc != 0) {
+    // A torn partial frame may sit at the tail now; replay truncates it.
+    // Nothing was acknowledged, so the caller aborts the mutation.
+    return Status::Internal("wal append failed: " + path_);
+  }
+  size_ += framed.size();
+  return Status::OK();
+}
+
+StatusOr<std::vector<Bytes>> DynamicWal::ReadAll() {
+  std::vector<Bytes> bodies;
+  StatusOr<Bytes> blob = ReadFileBytes(path_);
+  if (!blob.ok()) {
+    if (blob.status().IsNotFound()) {
+      size_ = 0;
+      return bodies;  // No log yet: nothing to replay.
+    }
+    return blob.status();
+  }
+  size_ = blob->size();
+  const Slice data(*blob);
+  size_t off = 0;
+  while (off < data.size()) {
+    StatusOr<Slice> body = ReadFramedRecord(data, &off);
+    if (!body.ok()) {
+      if (body.status().IsNotFound()) break;  // Clean (zeroed) tail.
+      if (IsTearSignature(body.status())) {
+        // Mid-append crash: drop the unacknowledged partial record and
+        // truncate the file back to the last whole one, so the tear cannot
+        // shadow a real corruption on the next restart.
+        const int fd = ::open(path_.c_str(), O_WRONLY);
+        if (fd < 0) return Status::Internal("cannot reopen wal: " + path_);
+        const int rc = fault_fs::Ftruncate(fd, static_cast<off_t>(off));
+        ::close(fd);
+        if (rc != 0) {
+          return Status::Internal("cannot truncate torn wal: " + path_);
+        }
+        size_ = off;
+        return bodies;
+      }
+      return body.status();  // Fail closed: in-place mangling.
+    }
+    bodies.emplace_back(body->data(), body->data() + body->size());
+  }
+  return bodies;
+}
+
+Status DynamicWal::Reset() {
+  CONCEALER_RETURN_IF_ERROR(WriteFileBytes(path_, Slice()));
+  size_ = 0;
+  return Status::OK();
+}
+
+}  // namespace concealer

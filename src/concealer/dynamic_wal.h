@@ -1,0 +1,103 @@
+#ifndef CONCEALER_CONCEALER_DYNAMIC_WAL_H_
+#define CONCEALER_CONCEALER_DYNAMIC_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "concealer/wire.h"
+#include "storage/row.h"
+
+namespace concealer {
+
+/// Write-ahead log for dynamic-mode enclave state (key versions, hash-chain
+/// tags, the re-encryption counter). The rewritten ciphertexts themselves
+/// land in the storage engine's segments, which replay on restart — but the
+/// *enclave-side* effects of a ReencryptBin (the bin's key-version bump and
+/// the refreshed verification tags) previously lived only in memory, so a
+/// restart after any dynamic query broke decryption and verification.
+///
+/// Protocol: ServiceProvider appends one WAL record per ReencryptBin —
+/// fsynced BEFORE the rewritten rows touch the table, so the log always
+/// leads the segments — and replays the log in ServiceProvider::Open after
+/// the epoch metas are loaded. A checkpoint folds the accumulated dynamic
+/// state into the epoch-meta sidecars and truncates the log.
+///
+/// Records carry ABSOLUTE post-state (the new key version, the counter
+/// value after the bump, full rewritten row bytes, whole replacement tag
+/// values), so replay is idempotent: re-applying a record whose effects the
+/// segments or a checkpoint already absorbed is a no-op.
+///
+/// Framing reuses the shared record frame (epoch_io.h): magic | version |
+/// FNV-1a | length | body. Replay fails CLOSED — a checksum mismatch or bad
+/// magic anywhere in the log aborts Open with Corruption (no partial
+/// key-version application); only the tear signatures a mid-append crash
+/// actually produces (a truncated final frame, or a zeroed tail) end the
+/// scan cleanly, because a record that never finished its fsync was never
+/// acknowledged and its effects never reached the table.
+struct WalRecord {
+  uint64_t epoch_id = 0;
+  uint32_t bin_index = 0;
+  /// Absolute post-bump key version of the bin.
+  uint64_t new_version = 0;
+  /// Absolute epoch re-encryption counter after this bin's bump.
+  uint64_t reenc_counter_after = 0;
+  /// The rewritten rows, post re-encryption: (row id, full column bytes).
+  std::vector<std::pair<uint64_t, Row>> rewrites;
+  /// Encrypted TagUpdate (EpochRandCipher(epoch_id, 0)); the tags are
+  /// enclave secrets and must not rest on the SP's disk in the clear.
+  Bytes enc_tag_update;
+};
+
+Bytes SerializeWalRecord(const WalRecord& record);
+StatusOr<WalRecord> DeserializeWalRecord(Slice body);
+
+/// The tag refresh a ReencryptBin produced: whole replacement ChainTags per
+/// touched cell id, plus the cell ids whose tags the rewrite erased (bins
+/// that lost their last real row of a cid). Absolute values — applying
+/// twice is a no-op.
+struct TagUpdate {
+  VerificationTags set;
+  std::vector<uint32_t> erased;
+};
+
+Bytes SerializeTagUpdate(const TagUpdate& update);
+StatusOr<TagUpdate> DeserializeTagUpdate(Slice data);
+
+/// The log file itself: append/fsync, full-scan replay, checkpoint reset.
+/// Single-writer (the provider's epoch-level exclusive lock).
+class DynamicWal {
+ public:
+  /// Opens (creating if absent) the log at `path`.
+  static StatusOr<std::unique_ptr<DynamicWal>> Open(std::string path);
+
+  /// Appends one framed record body and fsyncs the file. On any I/O error
+  /// nothing is acknowledged — the caller must not apply the mutation.
+  Status Append(Slice body);
+
+  /// Reads every record body in the log, in append order. Tolerates the
+  /// tear signatures of a mid-append crash (truncated final frame, zeroed
+  /// tail) by truncating the file back to the last whole record; any other
+  /// corruption fails closed with Corruption.
+  StatusOr<std::vector<Bytes>> ReadAll();
+
+  /// Checkpoint truncation: atomically resets the log to empty.
+  Status Reset();
+
+  uint64_t SizeBytes() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit DynamicWal(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace concealer
+
+#endif  // CONCEALER_CONCEALER_DYNAMIC_WAL_H_

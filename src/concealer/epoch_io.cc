@@ -1,11 +1,13 @@
 #include "concealer/epoch_io.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
 
 #include "common/coding.h"
+#include "storage/fault_fs.h"
 
 namespace concealer {
 
@@ -214,12 +216,23 @@ Bytes SerializeEpochMeta(const EpochMeta& meta) {
                                ? SerializeEpoch(meta.epoch)
                                : SerializeEpoch(StripRows(meta.epoch));
   Bytes body;
-  body.reserve(8 + 8 + 4 + 4 + 4 + epoch_blob.size());
+  body.reserve(8 + 8 + 4 + 4 + 4 + epoch_blob.size() + 4 +
+               meta.bin_key_versions.size() * 12 + 8 + 4 +
+               meta.enc_dynamic_tags.size());
   PutFixed64(&body, meta.first_row_id);
   PutFixed64(&body, meta.num_rows);
   PutFixed32(&body, meta.seg_lo);
   PutFixed32(&body, meta.seg_hi);
   PutLengthPrefixed(&body, epoch_blob);
+  // Checkpointed dynamic state, appended after the original fields so old
+  // metas (which end at the epoch blob) still parse with defaults.
+  PutFixed32(&body, static_cast<uint32_t>(meta.bin_key_versions.size()));
+  for (const auto& entry : meta.bin_key_versions) {
+    PutFixed32(&body, entry.first);
+    PutFixed64(&body, entry.second);
+  }
+  PutFixed64(&body, meta.reenc_counter);
+  PutLengthPrefixed(&body, meta.enc_dynamic_tags);
   Bytes out;
   AppendFramedRecord(&out, body);
   return out;
@@ -245,8 +258,34 @@ StatusOr<EpochMeta> DeserializeEpochMeta(Slice data) {
   meta.seg_hi = DecodeFixed32(body->data() + 20);
   size_t boff = 24;
   Bytes epoch_blob;
-  if (!GetLengthPrefixed(*body, &boff, &epoch_blob) || boff != body->size()) {
+  if (!GetLengthPrefixed(*body, &boff, &epoch_blob)) {
     return Status::Corruption("epoch meta truncated in epoch blob");
+  }
+  // Dynamic-state fields are optional: a meta written before any
+  // checkpoint ends right after the epoch blob and parses to defaults.
+  if (boff != body->size()) {
+    if (boff + 4 > body->size()) {
+      return Status::Corruption("epoch meta truncated at version count");
+    }
+    const uint32_t num_versions = DecodeFixed32(body->data() + boff);
+    boff += 4;
+    for (uint32_t i = 0; i < num_versions; ++i) {
+      if (boff + 12 > body->size()) {
+        return Status::Corruption("epoch meta truncated in key versions");
+      }
+      const uint32_t bin = DecodeFixed32(body->data() + boff);
+      meta.bin_key_versions[bin] = DecodeFixed64(body->data() + boff + 4);
+      boff += 12;
+    }
+    if (boff + 8 > body->size()) {
+      return Status::Corruption("epoch meta truncated at reenc counter");
+    }
+    meta.reenc_counter = DecodeFixed64(body->data() + boff);
+    boff += 8;
+    if (!GetLengthPrefixed(*body, &boff, &meta.enc_dynamic_tags) ||
+        boff != body->size()) {
+      return Status::Corruption("epoch meta truncated in dynamic tags");
+    }
   }
   StatusOr<EncryptedEpoch> epoch = DeserializeEpoch(epoch_blob);
   if (!epoch.ok()) return epoch.status();
@@ -268,22 +307,25 @@ Status WriteFileBytes(const std::string& path, Slice data) {
   // Write-then-rename: a crash mid-write must never leave a torn file at
   // `path` itself. Epoch-meta files and the index sidecar are recovery
   // inputs — a torn meta would fail ServiceProvider::Open until a human
-  // deleted it, while a missing one is at worst a re-ingest.
+  // deleted it, while a missing one is at worst a re-ingest. The write,
+  // fsync and rename go through the fault_fs shim so the durability tests
+  // can crash this helper at every step.
   const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
     return Status::Internal("cannot open for write: " + tmp);
   }
-  const size_t written =
-      data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
   const bool flushed =
-      written == data.size() && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
-  const int rc = std::fclose(f);
+      (data.empty() ||
+       fault_fs::Write(fd, data.data(), data.size()) ==
+           static_cast<ssize_t>(data.size())) &&
+      fault_fs::Fsync(fd) == 0;
+  const int rc = ::close(fd);
   if (!flushed || rc != 0) {
     ::unlink(tmp.c_str());
     return Status::Internal("short write: " + tmp);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (fault_fs::Rename(tmp.c_str(), path.c_str()) != 0) {
     ::unlink(tmp.c_str());
     return Status::Internal("cannot rename " + tmp + " to " + path);
   }

@@ -1,6 +1,8 @@
 #ifndef CONCEALER_CONCEALER_EPOCH_IO_H_
 #define CONCEALER_CONCEALER_EPOCH_IO_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "common/slice.h"
@@ -65,6 +67,16 @@ struct EpochMeta {
   uint64_t num_rows = 0;
   uint32_t seg_lo = 0;  // Segment range holding the epoch's rows.
   uint32_t seg_hi = 0;
+
+  // Checkpointed dynamic-mode state (dynamic_wal.h). Absent (defaults) in
+  // metas written by ingest or by older builds; a checkpoint folds the
+  // WAL's accumulated key-version bumps, re-encryption counter and
+  // refreshed tags in here so the log can truncate. enc_dynamic_tags, when
+  // non-empty, is the complete current tag set encrypted like the original
+  // enc_verification_tags blob, and supersedes it.
+  std::map<uint32_t, uint64_t> bin_key_versions;
+  uint64_t reenc_counter = 0;
+  Bytes enc_dynamic_tags;
 };
 
 /// Copy of `epoch` with its rows omitted — only the metadata fields the

@@ -16,8 +16,24 @@ StatusOr<EpochState> EpochState::Create(const Enclave& enclave,
 StatusOr<EpochState> EpochState::CreateFromMeta(const Enclave& enclave,
                                                 const ConcealerConfig& config,
                                                 const EpochMeta& meta) {
-  return CreateInternal(enclave, config, meta.epoch, meta.first_row_id,
-                        meta.num_rows);
+  StatusOr<EpochState> state = CreateInternal(
+      enclave, config, meta.epoch, meta.first_row_id, meta.num_rows);
+  if (!state.ok()) return state;
+  // Install the checkpointed dynamic state: bins rewritten by the dynamic
+  // path decrypt under their bumped key versions, and the refreshed tag
+  // set (covering the rewritten ciphertexts) supersedes the ingest-time
+  // enc_verification_tags already decoded above.
+  state->bin_key_versions_ = meta.bin_key_versions;
+  state->reenc_counter_ = meta.reenc_counter;
+  if (!meta.enc_dynamic_tags.empty()) {
+    StatusOr<Bytes> tags_blob =
+        enclave.DecryptEpochBlob(meta.epoch.epoch_id, meta.enc_dynamic_tags);
+    if (!tags_blob.ok()) return tags_blob.status();
+    StatusOr<VerificationTags> tags = DeserializeTags(*tags_blob);
+    if (!tags.ok()) return tags.status();
+    state->tags_ = std::move(*tags);
+  }
+  return state;
 }
 
 StatusOr<EpochState> EpochState::CreateInternal(const Enclave& enclave,

@@ -56,6 +56,8 @@ class EpochState {
 
   uint64_t reenc_counter() const { return reenc_counter_; }
   void bump_reenc_counter() { ++reenc_counter_; }
+  /// WAL replay installs the absolute post-record counter (dynamic_wal.h).
+  void set_reenc_counter(uint64_t value) { reenc_counter_ = value; }
 
   /// Per-bin re-encryption key version (paper §6 footnote 7): bins touched
   /// by the dynamic path get rewritten under k = KDF(sk, eid, version).
@@ -65,6 +67,10 @@ class EpochState {
   }
   void set_bin_key_version(uint32_t bin_index, uint64_t version) {
     bin_key_versions_[bin_index] = version;
+  }
+  /// Full version map, for checkpointing into the epoch-meta sidecar.
+  const std::map<uint32_t, uint64_t>& bin_key_versions() const {
+    return bin_key_versions_;
   }
 
   /// Contiguous row-id range this epoch occupies in the table (used by the

@@ -24,6 +24,10 @@ std::string IndexSidecarPath(const std::string& dir) {
   return dir + "/index.sidecar";
 }
 
+std::string DynamicWalPath(const std::string& dir) {
+  return dir + "/dynamic.wal";
+}
+
 std::string EpochMetaPath(const std::string& dir, uint64_t epoch_id) {
   char name[40];
   std::snprintf(name, sizeof(name), "epoch-%020llu.meta",
@@ -67,6 +71,13 @@ ServiceProvider::ServiceProvider(ConcealerConfig config, Bytes sk,
       planner_(config_),
       rng_(0xc0ffee) {
   persistent_ = table_.engine()->persistent();
+  if (persistent_) {
+    // Open never fails (it only stats the file); the log is created on the
+    // first dynamic append.
+    StatusOr<std::unique_ptr<DynamicWal>> wal =
+        DynamicWal::Open(DynamicWalPath(storage_options_.dir));
+    if (wal.ok()) wal_ = std::move(*wal);
+  }
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
@@ -87,17 +98,10 @@ StatusOr<std::unique_ptr<ServiceProvider>> ServiceProvider::Open(
 }
 
 Status ServiceProvider::Recover() {
-  if (table_.num_rows() > 0) {
-    CONCEALER_RETURN_IF_ERROR(
-        table_.RecoverIndex(IndexSidecarPath(storage_options_.dir)));
-    // The recovered index covers every current row, so the geometric
-    // persist schedule in IngestEpoch resumes from here — without this,
-    // the first ingest after every restart would re-dump the full sidecar.
-    sidecar_rows_ = table_.num_rows();
-  }
   // Re-adopt every persisted epoch: the meta file carries the encrypted
-  // enclave blobs (layout, tags) plus the row span and segment range; the
-  // rows themselves were already recovered by the engine's segment scan.
+  // enclave blobs (layout, tags, checkpointed dynamic state) plus the row
+  // span and segment range; the rows themselves were already recovered by
+  // the engine's segment scan.
   std::vector<std::string> meta_files;
   DIR* d = ::opendir(storage_options_.dir.c_str());
   if (d == nullptr) {
@@ -131,7 +135,134 @@ Status ServiceProvider::Recover() {
       epoch_segments_[eid] = {meta->seg_lo, meta->seg_hi};
     }
   }
+  // Dynamic-mode WAL: re-apply whatever the metas have not absorbed yet.
+  // Must run before the index recovery below — replayed rewrites change
+  // row bytes, and the index has to be rebuilt over the final bytes.
+  CONCEALER_RETURN_IF_ERROR(ReplayWal());
+  if (table_.num_rows() > 0) {
+    CONCEALER_RETURN_IF_ERROR(
+        table_.RecoverIndex(IndexSidecarPath(storage_options_.dir)));
+    // The recovered index covers every current row, so the geometric
+    // persist schedule in IngestEpoch resumes from here — without this,
+    // the first ingest after every restart would re-dump the full sidecar.
+    sidecar_rows_ = table_.num_rows();
+  }
   return Status::OK();
+}
+
+Status ServiceProvider::ReplayWal() {
+  if (wal_ == nullptr) return Status::OK();
+  StatusOr<std::vector<Bytes>> bodies = wal_->ReadAll();
+  if (!bodies.ok()) return bodies.status();
+  if (bodies->empty()) return Status::OK();
+
+  // Two-phase replay: validate and decrypt EVERY record before applying
+  // anything, so a corrupt log never leaves a partially bumped key version
+  // behind (fail closed — the fuzz tests hold this line).
+  struct Pending {
+    WalRecord record;
+    TagUpdate update;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(bodies->size());
+  for (const Bytes& body : *bodies) {
+    StatusOr<WalRecord> record = DeserializeWalRecord(body);
+    if (!record.ok()) return record.status();
+    if (epochs_.find(record->epoch_id) == epochs_.end()) {
+      return Status::Corruption("wal record for unknown epoch " +
+                                std::to_string(record->epoch_id));
+    }
+    Pending p;
+    if (!record->enc_tag_update.empty()) {
+      StatusOr<Bytes> update_blob = enclave_.DecryptEpochBlob(
+          record->epoch_id, record->enc_tag_update);
+      if (!update_blob.ok()) return update_blob.status();
+      StatusOr<TagUpdate> update = DeserializeTagUpdate(*update_blob);
+      if (!update.ok()) return update.status();
+      p.update = std::move(*update);
+    }
+    for (const auto& rewrite : record->rewrites) {
+      if (rewrite.first >= table_.num_rows()) {
+        return Status::Corruption("wal rewrite beyond recovered rows");
+      }
+    }
+    p.record = std::move(*record);
+    pending.push_back(std::move(p));
+  }
+
+  // Apply in append order. Records carry absolute post-state, so replaying
+  // entries a checkpoint already folded into the metas converges on the
+  // same final value; rows whose stored bytes already match are skipped,
+  // so a clean restart replays without growing the segments.
+  StorageEngine* engine = table_.engine();
+  for (const Pending& p : pending) {
+    EpochState& state = epochs_.find(p.record.epoch_id)->second;
+    for (const auto& rewrite : p.record.rewrites) {
+      const Row* current = engine->GetRef(rewrite.first);
+      bool same = current != nullptr &&
+                  current->columns.size() == rewrite.second.columns.size();
+      if (same) {
+        for (size_t c = 0; c < rewrite.second.columns.size(); ++c) {
+          if (current->columns[c] != rewrite.second.columns[c]) {
+            same = false;
+            break;
+          }
+        }
+      }
+      if (same) continue;
+      CONCEALER_RETURN_IF_ERROR(engine->Replace(rewrite.first,
+                                                rewrite.second));
+    }
+    state.set_bin_key_version(
+        p.record.bin_index,
+        std::max(state.bin_key_version(p.record.bin_index),
+                 p.record.new_version));
+    state.set_reenc_counter(
+        std::max(state.reenc_counter(), p.record.reenc_counter_after));
+    for (uint32_t cid : p.update.erased) state.tags().erase(cid);
+    for (const auto& entry : p.update.set) {
+      state.tags()[entry.first] = entry.second;
+    }
+    // The replayed state is ahead of the meta sidecar until the next
+    // checkpoint folds it back in.
+    wal_dirty_epochs_.insert(p.record.epoch_id);
+  }
+  return Status::OK();
+}
+
+Status ServiceProvider::CheckpointDynamicState() {
+  if (wal_ == nullptr) return Status::OK();
+  for (uint64_t eid : wal_dirty_epochs_) {
+    auto it = epochs_.find(eid);
+    if (it == epochs_.end()) continue;
+    const EpochState& state = it->second;
+    StatusOr<EpochMeta> meta =
+        ReadEpochMetaFile(EpochMetaPath(storage_options_.dir, eid));
+    if (!meta.ok()) return meta.status();
+    meta->bin_key_versions = state.bin_key_versions();
+    meta->reenc_counter = state.reenc_counter();
+    StatusOr<RandCipher> cipher = enclave_.EpochRandCipher(eid, 0);
+    if (!cipher.ok()) return cipher.status();
+    meta->enc_dynamic_tags = cipher->Encrypt(SerializeTags(state.tags()));
+    // Write-then-rename: a crash mid-checkpoint leaves either the old meta
+    // (the un-truncated WAL still replays the delta) or the new one (the
+    // WAL replays idempotently over it). Either way Open converges.
+    CONCEALER_RETURN_IF_ERROR(WriteEpochMetaFile(
+        EpochMetaPath(storage_options_.dir, eid), *meta));
+  }
+  CONCEALER_RETURN_IF_ERROR(wal_->Reset());
+  wal_dirty_epochs_.clear();
+  return Status::OK();
+}
+
+Status ServiceProvider::MaintainStorage() {
+  if (!persistent_) return Status::OK();
+  if (wal_ != nullptr && wal_->SizeBytes() >= wal_checkpoint_bytes_) {
+    CONCEALER_RETURN_IF_ERROR(CheckpointDynamicState());
+  }
+  StatusOr<uint64_t> reclaimed =
+      table_.engine()->Compact(compaction_dead_ratio_);
+  return reclaimed.status();
 }
 
 void ServiceProvider::set_num_threads(uint32_t n) {
@@ -421,13 +552,14 @@ Status ServiceProvider::ReencryptBin(EpochState* state, uint32_t bin_index,
   for (size_t i = 0; i < new_rows.size(); ++i) {
     rewrites.emplace_back(shuffled_ids[i], std::move(new_rows[i]));
   }
-  CONCEALER_RETURN_IF_ERROR(table_.ReindexRows(rewrites));
 
-  // Refresh the verifiable tags of the bin's cell-ids against the new
-  // ciphertexts (chains stay in counter order).
+  // Compute the refreshed tags of the bin's cell-ids against the new
+  // ciphertexts (chains stay in counter order) before anything mutates —
+  // the WAL record below must carry the complete post-state of this bin.
+  TagUpdate update;
   for (const auto& [cid, row_idxs] : fetched.real_row_of_cid) {
     if (row_idxs.empty()) {
-      state->tags().erase(cid);
+      update.erased.push_back(cid);
       continue;
     }
     Sha256::Digest el{}, eo{}, er{};
@@ -441,7 +573,34 @@ Status ServiceProvider::ReencryptBin(EpochState* state, uint32_t bin_index,
       er = ChainStep(row.columns[kColEr], started ? &er : nullptr);
       started = true;
     }
-    state->tags()[cid] = ChainTags{el, eo, er};
+    update.set[cid] = ChainTags{el, eo, er};
+  }
+
+  // WAL first (persistent providers): the record — key-version bump,
+  // counter, rewritten rows, encrypted tag refresh — is fsynced before any
+  // row or enclave state changes. A failure here aborts the whole bin
+  // rewrite with nothing applied; a crash right after is replayed by Open.
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.epoch_id = state->epoch_id();
+    record.bin_index = bin_index;
+    record.new_version = new_version;
+    record.reenc_counter_after = state->reenc_counter() + 1;
+    StatusOr<RandCipher> cipher =
+        enclave_.EpochRandCipher(state->epoch_id(), 0);
+    if (!cipher.ok()) return cipher.status();
+    record.enc_tag_update = cipher->Encrypt(SerializeTagUpdate(update));
+    record.rewrites = std::move(rewrites);
+    CONCEALER_RETURN_IF_ERROR(wal_->Append(SerializeWalRecord(record)));
+    rewrites = std::move(record.rewrites);
+    wal_dirty_epochs_.insert(state->epoch_id());
+  }
+
+  CONCEALER_RETURN_IF_ERROR(table_.ReindexRows(rewrites));
+
+  for (uint32_t cid : update.erased) state->tags().erase(cid);
+  for (const auto& entry : update.set) {
+    state->tags()[entry.first] = entry.second;
   }
   state->set_bin_key_version(bin_index, new_version);
   state->bump_reenc_counter();

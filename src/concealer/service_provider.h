@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "concealer/dynamic_wal.h"
 #include "concealer/epoch_state.h"
 #include "concealer/query_executor.h"
 #include "concealer/range_planner.h"
@@ -56,9 +58,12 @@ class ServiceProvider {
   /// then answer byte-identically to the pre-restart provider. Requires
   /// `storage.engine == kMmap` and a non-empty dir.
   ///
-  /// Restart fidelity covers the static query path; §6 dynamic-mode key
-  /// versions and refreshed tags are enclave state that is not persisted
-  /// (the meta file holds the DP's original encrypted tags).
+  /// Restart fidelity covers the dynamic path too: §6 key-version bumps
+  /// and refreshed tags are write-ahead logged (dynamic_wal.h) before each
+  /// rewritten bin is acknowledged, and Open replays the log over the
+  /// checkpointed epoch metas — so a crash at ANY I/O point restores a
+  /// provider whose answers and tags are byte-identical to one that never
+  /// crashed.
   static StatusOr<std::unique_ptr<ServiceProvider>> Open(
       ConcealerConfig config, Bytes sk, const StorageOptions& storage);
 
@@ -165,13 +170,50 @@ class ServiceProvider {
   bool persistent() const { return persistent_; }
   const StorageOptions& storage_options() const { return storage_options_; }
 
+  // --- Dynamic-mode durability (persistent engines; no-ops in memory) ----
+
+  /// Folds the dynamic state (key versions, re-encryption counters,
+  /// refreshed tags) of every WAL-dirty epoch into its epoch-meta sidecar,
+  /// then truncates the WAL. Crash-safe at any point: metas swap in via
+  /// write-then-rename, and replaying a not-yet-truncated WAL over already
+  /// checkpointed metas is idempotent (records carry absolute state).
+  /// Exclusive access required.
+  Status CheckpointDynamicState();
+
+  /// Periodic storage upkeep, called by the service layer after dynamic
+  /// queries (under the exclusive epoch lock): checkpoints once the WAL
+  /// exceeds the size threshold, then lets the engine compact mostly-dead
+  /// segments. Together these bound disk growth under sustained churn.
+  Status MaintainStorage();
+
+  /// WAL size that triggers a checkpoint in MaintainStorage.
+  void set_wal_checkpoint_bytes(uint64_t bytes) {
+    wal_checkpoint_bytes_ = bytes;
+  }
+  /// Dead-byte ratio above which MaintainStorage compacts a segment.
+  void set_compaction_dead_ratio(double ratio) {
+    compaction_dead_ratio_ = ratio;
+  }
+  /// The WAL's current on-disk size (0 when not persistent).
+  uint64_t wal_size_bytes() const {
+    return wal_ != nullptr ? wal_->SizeBytes() : 0;
+  }
+
  private:
   /// Internal: engine already built (Open/recovery path).
   ServiceProvider(ConcealerConfig config, Bytes sk, StorageOptions storage,
                   std::unique_ptr<StorageEngine> engine);
 
-  /// Restart recovery over a reopened engine: index + epoch metas.
+  /// Restart recovery over a reopened engine: epoch metas, then the
+  /// dynamic WAL, then the index (in that order — replay needs the epoch
+  /// states, and the index must cover the replayed rewrites).
   Status Recover();
+
+  /// Replays the dynamic WAL over the recovered epochs: re-applies any
+  /// rewritten rows the crash kept out of the segments and installs the
+  /// logged key versions, counters and tags. Fails closed on in-place log
+  /// corruption; tolerates only the tear a mid-append crash leaves.
+  Status ReplayWal();
 
   /// The one time-overlap predicate shared by the execute and lifecycle
   /// paths — they must agree on which epochs a query touches, or the
@@ -211,6 +253,14 @@ class ServiceProvider {
   /// Table size at the last index-sidecar dump (geometric persistence —
   /// see IngestEpoch).
   uint64_t sidecar_rows_ = 0;
+  /// Dynamic-mode write-ahead log (persistent providers only; see
+  /// dynamic_wal.h for the protocol).
+  std::unique_ptr<DynamicWal> wal_;
+  /// Epochs whose in-memory dynamic state is ahead of their meta sidecar
+  /// (rewinds to empty at each checkpoint).
+  std::set<uint64_t> wal_dirty_epochs_;
+  uint64_t wal_checkpoint_bytes_ = 4ull << 20;
+  double compaction_dead_ratio_ = 0.5;
   /// Workers for the parallel fetch path; null when num_threads <= 1 or a
   /// shared pool is attached. Lives on the untrusted side of the simulated
   /// boundary — see docs/ARCHITECTURE.md — but workers only run

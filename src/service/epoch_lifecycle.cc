@@ -212,6 +212,12 @@ Status EpochLifecycleManager::ReclaimToBudget() {
   return EvictForBudgetLocked({});
 }
 
+Status EpochLifecycleManager::MaintainStorage() {
+  // No residency bookkeeping changes: the provider checkpoints the WAL and
+  // compacts resident segments; evicted ranges are skipped by the engine.
+  return provider_->MaintainStorage();
+}
+
 EpochLifecycleManager::Stats EpochLifecycleManager::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats stats;

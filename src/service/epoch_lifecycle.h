@@ -174,6 +174,13 @@ class EpochLifecycleManager {
   /// lock required.
   Status ReclaimToBudget();
 
+  /// Dynamic-mode storage upkeep (WAL checkpointing + segment compaction,
+  /// see ServiceProvider::MaintainStorage). Compaction only touches
+  /// RESIDENT sealed segments — an evicted epoch's dead bytes wait until a
+  /// query faults it back in, so upkeep composes with the hot-epoch budget
+  /// instead of fighting it. Exclusive epoch lock required.
+  Status MaintainStorage();
+
   /// Evictions this tenant currently owes the shared budget (0 without a
   /// budget). Safe under the shared lock.
   size_t pending_reclaim() const {

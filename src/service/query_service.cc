@@ -167,7 +167,17 @@ StatusOr<QueryResult> QueryService::ExecuteUnderLocks(const Query& query) {
         CONCEALER_RETURN_IF_ERROR(
             lifecycle_->EnsureResidentForQuery(query));
       }
-      return provider_->Execute(query);
+      StatusOr<QueryResult> result = provider_->Execute(query);
+      if (result.ok()) {
+        // Storage upkeep rides the exclusive lock the rewrite already
+        // holds: checkpoint the dynamic WAL when it has grown past its
+        // threshold and compact mostly-dead segments, so sustained churn
+        // keeps disk bounded without a background thread racing readers.
+        CONCEALER_RETURN_IF_ERROR(lifecycle_ != nullptr
+                                      ? lifecycle_->MaintainStorage()
+                                      : provider_->MaintainStorage());
+      }
+      return result;
     }
     // Static mode never mutates epoch state (lazy plan builds are
     // internally locked), so any number of queries share the read lock.

@@ -1,0 +1,143 @@
+#include "storage/fault_fs.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <mutex>
+
+namespace concealer {
+namespace fault_fs {
+
+namespace {
+
+// armed_ is the fast-path gate: a single relaxed load keeps the disarmed
+// wrappers at passthrough cost. The rest of the state only changes and is
+// only read while armed, under mu_.
+std::atomic<bool> armed_{false};
+std::mutex mu_;
+uint64_t fail_at_ = 0;  // 0 = count only.
+bool torn_ = false;
+uint64_t ops_ = 0;
+bool down_ = false;
+
+ssize_t WriteFully(int fd, const uint8_t* buf, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, buf + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    done += static_cast<size_t>(w);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+/// Counts one op. Returns 0 to pass through, 1 to fail cleanly, 2 to fail
+/// torn (Write persists a prefix first).
+int Account() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (down_) return 1;  // The crashed process issues no more I/O.
+  ++ops_;
+  if (fail_at_ != 0 && ops_ == fail_at_) {
+    down_ = true;
+    return torn_ ? 2 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void Arm(uint64_t fail_at_op, bool torn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_ = fail_at_op;
+  torn_ = torn;
+  ops_ = 0;
+  down_ = false;
+  armed_.store(true, std::memory_order_release);
+}
+
+void Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  fail_at_ = 0;
+  torn_ = false;
+  down_ = false;
+}
+
+uint64_t OpsIssued() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+bool Triggered() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return down_;
+}
+
+ssize_t Write(int fd, const void* buf, size_t n) {
+  if (armed_.load(std::memory_order_relaxed)) {
+    const int verdict = Account();
+    if (verdict == 2) {
+      // Torn write: persist an arbitrary prefix, then fail — the on-disk
+      // shape a crash mid-write leaves behind.
+      const size_t prefix = n / 2;
+      if (prefix > 0) {
+        (void)WriteFully(fd, static_cast<const uint8_t*>(buf), prefix);
+      }
+      errno = EIO;
+      return -1;
+    }
+    if (verdict == 1) {
+      errno = EIO;
+      return -1;
+    }
+  }
+  return WriteFully(fd, static_cast<const uint8_t*>(buf), n);
+}
+
+int Fsync(int fd) {
+  if (armed_.load(std::memory_order_relaxed) && Account() != 0) {
+    errno = EIO;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+int Rename(const char* from, const char* to) {
+  if (armed_.load(std::memory_order_relaxed) && Account() != 0) {
+    errno = EIO;
+    return -1;
+  }
+  return ::rename(from, to);
+}
+
+int Ftruncate(int fd, off_t len) {
+  if (armed_.load(std::memory_order_relaxed) && Account() != 0) {
+    errno = EIO;
+    return -1;
+  }
+  return ::ftruncate(fd, len);
+}
+
+int Msync(void* addr, size_t len, int flags) {
+  if (armed_.load(std::memory_order_relaxed) && Account() != 0) {
+    errno = EIO;
+    return -1;
+  }
+  return ::msync(addr, len, flags);
+}
+
+int Unlink(const char* path) {
+  if (armed_.load(std::memory_order_relaxed) && Account() != 0) {
+    errno = EIO;
+    return -1;
+  }
+  return ::unlink(path);
+}
+
+}  // namespace fault_fs
+}  // namespace concealer

@@ -15,6 +15,7 @@
 
 #include "common/coding.h"
 #include "concealer/epoch_io.h"
+#include "storage/fault_fs.h"
 #include "storage/row_store.h"
 
 namespace concealer {
@@ -23,6 +24,14 @@ namespace {
 
 constexpr char kSegPrefix[] = "seg-";
 constexpr char kSegSuffix[] = ".seg";
+
+/// Sentinel row id of a compaction purge marker: the only record left in a
+/// compacted segment's file. Its single 8-byte column holds the number of
+/// records the compaction removed, so the restart replay can keep
+/// durable_generation() — the index-sidecar freshness stamp — identical to
+/// the pre-restart value even though the purged records are gone. Real row
+/// ids are dense-from-zero, so the sentinel can never collide.
+constexpr uint64_t kPurgeMarkerRowId = ~0ull;
 
 std::string SegmentPath(const std::string& dir, uint32_t index) {
   char name[32];
@@ -132,6 +141,11 @@ StatusOr<std::unique_ptr<SegmentEngine>> SegmentEngine::Open(Options options) {
   for (uint32_t index = 0; index < indexes.size(); ++index) {
     CONCEALER_RETURN_IF_ERROR(engine->ReplaySegment(index, /*restore=*/false));
   }
+  if (!engine->replay_holes_.empty()) {
+    return Status::Corruption(
+        "purged row never rewritten: row " +
+        std::to_string(*engine->replay_holes_.begin()));
+  }
   // Only now — with the whole log validated — normalize files to the
   // sealed-segment invariant (file size == tail): a crash before
   // SealActiveLocked leaves the preallocated zero tail behind, and a torn
@@ -179,7 +193,7 @@ Status SegmentEngine::NewSegment(size_t min_capacity) {
   }
   seg.map_len = PageRoundUp(std::max<size_t>(options_.segment_bytes,
                                              min_capacity));
-  if (::ftruncate(seg.fd, static_cast<off_t>(seg.map_len)) != 0) {
+  if (fault_fs::Ftruncate(seg.fd, static_cast<off_t>(seg.map_len)) != 0) {
     ::close(seg.fd);
     return Status::Internal("cannot preallocate " + seg.path);
   }
@@ -255,6 +269,19 @@ Status SegmentEngine::ReplaySegment(uint32_t index, bool restore) {
     Row borrowed;
     Status st = ParseRecordAt(seg, &off, &row_id, &borrowed);
     if (st.IsNotFound()) break;  // Clean zero-filled tail.
+    if (st.ok() && row_id == kPurgeMarkerRowId) {
+      // Compaction purge marker: re-count the purged records into the
+      // durable generation; there are no row bytes to restore.
+      if (restore) continue;
+      if (borrowed.columns.size() != 1 || borrowed.columns[0].size() != 8) {
+        return Status::Corruption("malformed purge marker in " + seg.path);
+      }
+      const uint64_t purged = DecodeFixed64(borrowed.columns[0].data());
+      records_ += purged;
+      generation_ += purged;
+      replay_purged_ += purged;
+      continue;
+    }
     if (!st.ok()) {
       if (!restore && index + 1 == segments_.size()) {
         // A torn final write (crash mid-append) truncates the log here;
@@ -280,15 +307,38 @@ Status SegmentEngine::ReplaySegment(uint32_t index, bool restore) {
       continue;
     }
     const uint32_t bytes = static_cast<uint32_t>(RowByteSize(borrowed));
+    const uint32_t framed = static_cast<uint32_t>(off - record_off);
+    // A compacted (tombstoned) segment no longer carries the records that
+    // first introduced its row ids — their latest copies live in LATER
+    // segments (every Replace and every compaction rewrite lands in the
+    // then-active segment, which has a higher index than any sealed
+    // victim). Bridge the id gap with holes that the later copies MUST
+    // fill; Open fails if any hole survives the full replay.
+    while (row_id > rows_.size()) {
+      if (replay_purged_ == 0) {
+        return Status::Corruption("row record out of append order");
+      }
+      replay_holes_.insert(rows_.size());
+      rows_.push_back(Row{});
+      locs_.push_back(RowLoc{index, record_off});
+      row_bytes_.push_back(0);
+      rec_bytes_.push_back(0);
+    }
     if (row_id == rows_.size()) {
       rows_.push_back(std::move(borrowed));
       locs_.push_back(RowLoc{index, record_off});
       row_bytes_.push_back(bytes);
+      rec_bytes_.push_back(framed);
       total_bytes_ += bytes;
     } else if (row_id < rows_.size()) {
+      if (!replay_holes_.empty()) replay_holes_.erase(row_id);
+      // This record supersedes an earlier one — that one is dead weight in
+      // its segment now (compaction victim-selection signal).
+      segments_[locs_[row_id].seg].dead_bytes += rec_bytes_[row_id];
       total_bytes_ -= row_bytes_[row_id];
       total_bytes_ += bytes;
       row_bytes_[row_id] = bytes;
+      rec_bytes_[row_id] = framed;
       rows_[row_id] = std::move(borrowed);
       locs_[row_id] = RowLoc{index, record_off};
     } else {
@@ -311,6 +361,8 @@ StatusOr<uint64_t> SegmentEngine::Append(Row row) {
   rows_.push_back(std::move(borrowed));
   locs_.push_back(loc);
   row_bytes_.push_back(bytes);
+  rec_bytes_.push_back(
+      static_cast<uint32_t>(segments_[loc.seg].tail - loc.off));
   total_bytes_ += bytes;
   ++generation_;
   ++records_;
@@ -342,9 +394,13 @@ Status SegmentEngine::Replace(uint64_t row_id, Row row) {
   Row borrowed;
   CONCEALER_RETURN_IF_ERROR(WriteRecord(row_id, row, &loc, &borrowed));
   const uint32_t bytes = static_cast<uint32_t>(RowByteSize(borrowed));
+  // The superseded record becomes dead weight in its segment.
+  segments_[locs_[row_id].seg].dead_bytes += rec_bytes_[row_id];
   total_bytes_ -= row_bytes_[row_id];
   total_bytes_ += bytes;
   row_bytes_[row_id] = bytes;
+  rec_bytes_[row_id] =
+      static_cast<uint32_t>(segments_[loc.seg].tail - loc.off);
   rows_[row_id] = std::move(borrowed);
   locs_[row_id] = loc;
   ++generation_;
@@ -356,10 +412,10 @@ Status SegmentEngine::SealActiveLocked() {
   if (segments_.empty() || segments_.back().sealed) return Status::OK();
   Segment& seg = segments_.back();
   if (seg.tail > 0 &&
-      ::msync(seg.map, seg.tail, MS_SYNC) != 0) {
+      fault_fs::Msync(seg.map, seg.tail, MS_SYNC) != 0) {
     return Status::Internal("msync failed for " + seg.path);
   }
-  if (::ftruncate(seg.fd, static_cast<off_t>(seg.tail)) != 0) {
+  if (fault_fs::Ftruncate(seg.fd, static_cast<off_t>(seg.tail)) != 0) {
     return Status::Internal("cannot truncate " + seg.path);
   }
   // Release the unused preallocated address range; the mapped prefix (all
@@ -381,7 +437,7 @@ Status SegmentEngine::SealSegment() { return SealActiveLocked(); }
 Status SegmentEngine::Sync() {
   if (segments_.empty() || segments_.back().sealed) return Status::OK();
   Segment& seg = segments_.back();
-  if (seg.tail > 0 && ::msync(seg.map, seg.tail, MS_SYNC) != 0) {
+  if (seg.tail > 0 && fault_fs::Msync(seg.map, seg.tail, MS_SYNC) != 0) {
     return Status::Internal("msync failed for " + seg.path);
   }
   return Status::OK();
@@ -462,6 +518,98 @@ bool SegmentEngine::SegmentsResident(uint32_t lo, uint32_t hi) const {
     if (!segments_[i].resident) return false;
   }
   return true;
+}
+
+uint64_t SegmentEngine::DeadBytes() const {
+  uint64_t dead = 0;
+  for (const Segment& seg : segments_) dead += seg.dead_bytes;
+  return dead;
+}
+
+uint64_t SegmentEngine::DiskBytes() const {
+  uint64_t bytes = 0;
+  for (const Segment& seg : segments_) bytes += seg.tail;
+  return bytes;
+}
+
+StatusOr<uint64_t> SegmentEngine::Compact(double min_dead_ratio) {
+  uint64_t reclaimed = 0;
+  // Snapshot the segment count: segments the rewrites roll open below are
+  // freshly live and never victims of this pass.
+  const uint32_t fixed = static_cast<uint32_t>(segments_.size());
+  for (uint32_t i = 0; i < fixed; ++i) {
+    // Re-index each iteration: WriteRecord below may grow segments_.
+    if (!segments_[i].sealed || !segments_[i].resident) continue;
+    if (segments_[i].tail == 0 || segments_[i].dead_bytes == 0) continue;
+    if (static_cast<double>(segments_[i].dead_bytes) <
+        min_dead_ratio * static_cast<double>(segments_[i].tail)) {
+      continue;
+    }
+    // Rewrite the victim's live rows into the active segment. Serializing
+    // reads the borrowed columns out of the victim's mapping; the borrow
+    // stays valid until the tombstone below swaps the file out.
+    std::vector<uint64_t> live;
+    for (uint64_t id : segments_[i].row_ids) {
+      if (locs_[id].seg == i) live.push_back(id);
+    }
+    std::sort(live.begin(), live.end());
+    live.erase(std::unique(live.begin(), live.end()), live.end());
+    const uint64_t victim_records = segments_[i].row_ids.size();
+    const uint64_t victim_tail = segments_[i].tail;
+    for (uint64_t id : live) {
+      RowLoc loc;
+      Row borrowed;
+      CONCEALER_RETURN_IF_ERROR(WriteRecord(id, rows_[id], &loc, &borrowed));
+      rows_[id] = std::move(borrowed);
+      locs_[id] = loc;
+      rec_bytes_[id] =
+          static_cast<uint32_t>(segments_[loc.seg].tail - loc.off);
+      ++records_;
+    }
+    // A crash between the rewrites (already durable via the shared
+    // mapping) and the tombstone rename is safe: recovery replays the
+    // victim's records and then the newer copies in the active segment, so
+    // the rows land on the rewritten versions and the victim simply shows
+    // up all-dead for the next pass.
+    CONCEALER_RETURN_IF_ERROR(TombstoneSegment(i, victim_records));
+    reclaimed += victim_tail - segments_[i].tail;
+    ++generation_;  // Outstanding borrows (any segment) go stale.
+  }
+  return reclaimed;
+}
+
+Status SegmentEngine::TombstoneSegment(uint32_t index,
+                                       uint64_t purged_records) {
+  Segment& seg = segments_[index];
+  // The marker is an ordinary framed row record under the sentinel id,
+  // with one 8-byte column carrying the purged-record count.
+  Bytes payload;
+  PutFixed64(&payload, purged_records);
+  Row marker;
+  marker.columns.emplace_back(std::move(payload));
+  Bytes body;
+  SerializeRowBody(kPurgeMarkerRowId, marker, &body);
+  Bytes framed;
+  AppendFramedRecord(&framed, body);
+  // Atomic swap via write-then-rename: a crash leaves either the full old
+  // segment (recovery replays it; the next pass re-tombstones) or the
+  // marker-only file — never a torn segment.
+  CONCEALER_RETURN_IF_ERROR(WriteFileBytes(seg.path, framed));
+  if (seg.map != nullptr) ::munmap(seg.map, seg.map_len);
+  seg.map = nullptr;
+  const int fd = ::open(seg.path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::Internal("cannot reopen tombstone " + seg.path);
+  void* map = ::mmap(nullptr, framed.size(), PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Status::Internal("mmap failed for tombstone " + seg.path);
+  }
+  seg.map = static_cast<uint8_t*>(map);
+  seg.map_len = framed.size();
+  seg.tail = framed.size();
+  seg.dead_bytes = 0;
+  seg.row_ids.clear();
+  return Status::OK();
 }
 
 bool SegmentEngine::IsMapped(const uint8_t* p) const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,20 @@ class SegmentEngine : public StorageEngine {
   const char* name() const override { return "mmap"; }
   bool persistent() const override { return !options_.remove_on_close; }
 
+  uint64_t DeadBytes() const override;
+  uint64_t DiskBytes() const override;
+
+  /// Rewrites live records out of resident sealed segments whose dead-byte
+  /// ratio is >= `min_dead_ratio`, then truncates the victim down to a
+  /// small purge marker. The marker (a) keeps the segment file present so
+  /// recovery's dense-numbering check still detects a genuinely missing
+  /// segment as data loss, and (b) carries the purged-record count so
+  /// durable_generation() — the index-sidecar freshness stamp — replays to
+  /// the same value after a restart even though the purged records are
+  /// gone. Exclusive access required (bumps generation(): borrows go
+  /// stale).
+  StatusOr<uint64_t> Compact(double min_dead_ratio) override;
+
   Status Sync() override;
   uint32_t NumSegments() const override {
     return static_cast<uint32_t>(segments_.size());
@@ -100,6 +115,9 @@ class SegmentEngine : public StorageEngine {
     size_t tail = 0;        // End of the last record.
     bool sealed = false;
     bool resident = true;
+    /// Framed bytes of records in this segment superseded by a later
+    /// Replace (the compactor's victim-selection signal).
+    uint64_t dead_bytes = 0;
     /// Row ids that ever had a record written to this segment (a Replace
     /// may have moved some elsewhere since; evict/load re-checks locs_).
     std::vector<uint64_t> row_ids;
@@ -128,15 +146,25 @@ class SegmentEngine : public StorageEngine {
   /// (Load path) only re-points rows whose current location matches.
   Status ReplaySegment(uint32_t index, bool restore);
   Status SealActiveLocked();
+  /// Replaces segment `index`'s file with a purge marker recording that
+  /// `purged_records` records were compacted away. Remaps the segment over
+  /// the marker-only file.
+  Status TombstoneSegment(uint32_t index, uint64_t purged_records);
 
   Options options_;
   std::vector<Segment> segments_;
   std::vector<Row> rows_;      // Borrowed views; evicted rows are cleared.
   std::vector<RowLoc> locs_;   // Parallel to rows_.
   std::vector<uint32_t> row_bytes_;  // Column-byte size per row.
+  std::vector<uint32_t> rec_bytes_;  // Framed record size per row.
   uint64_t total_bytes_ = 0;
   uint64_t generation_ = 0;  // Records written + residency flips (borrows).
   uint64_t records_ = 0;     // Records written only (durable, see base).
+  /// Recovery-only: purged records announced by tombstone markers, and the
+  /// row-id holes they opened that later records have not yet filled. Open
+  /// fails Corruption if any hole survives the full replay.
+  uint64_t replay_purged_ = 0;
+  std::set<uint64_t> replay_holes_;
 };
 
 }  // namespace concealer

@@ -104,6 +104,32 @@ class StorageEngine {
     (void)hi;
     return true;
   }
+
+  // --- Compaction (append-only persistent engines; no-ops in memory) -----
+  // A Replace appends a new version of the row, so the superseded record
+  // becomes dead weight in its (sealed) segment. Sustained dynamic-mode
+  // churn would grow disk without bound; Compact rewrites the live records
+  // of mostly-dead segments into the active segment and reclaims the rest.
+
+  /// Record bytes superseded by later Replaces, summed over resident
+  /// sealed segments (0 for non-segmented engines).
+  virtual uint64_t DeadBytes() const { return 0; }
+
+  /// Bytes of record data currently on disk across all segments (live +
+  /// dead; 0 for non-persistent engines).
+  virtual uint64_t DiskBytes() const { return 0; }
+
+  /// Rewrites the live records of every resident sealed segment whose
+  /// dead-byte ratio is >= `min_dead_ratio` into the active segment, then
+  /// reclaims the victim's file. Bumps generation() (outstanding borrows go
+  /// stale — callers hold the exclusive epoch lock, like Replace). Evicted
+  /// segments are skipped (compacting them would fault their rows back in;
+  /// their dead bytes wait until they are resident again). Returns the
+  /// record bytes reclaimed.
+  virtual StatusOr<uint64_t> Compact(double min_dead_ratio) {
+    (void)min_dead_ratio;
+    return static_cast<uint64_t>(0);
+  }
 };
 
 /// Engine selection for a ServiceProvider's table. The default is the

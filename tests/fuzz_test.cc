@@ -13,6 +13,7 @@
 #include "baseline/cleartext_db.h"
 #include "common/random.h"
 #include "concealer/data_provider.h"
+#include "concealer/dynamic_wal.h"
 #include "concealer/epoch_io.h"
 #include "concealer/service_provider.h"
 #include "workload/wifi_generator.h"
@@ -185,6 +186,74 @@ TEST_P(EpochBlobFuzz, MutatedBlobsNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EpochBlobFuzz,
+                         ::testing::Range<uint64_t>(1, 5));
+
+// Dynamic-WAL record fuzzing: the log drives ServiceProvider::Open's
+// replay, so a mangled record must always fail closed (no partial
+// key-version application) — the only tolerated damage is the tear a
+// mid-append crash leaves at the END of the file, which DynamicWal
+// truncates away. Mirrors the epoch-blob corpus above.
+class WalRecordFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WalRecordFuzz, MutatedRecordsFailClosedOrRoundTrip) {
+  Rng rng(GetParam() * 6311 + 29);
+
+  // A representative record: several rewrites with multi-column rows and
+  // an encrypted tag update, framed exactly as DynamicWal stores it.
+  WalRecord record;
+  record.epoch_id = GetParam();
+  record.bin_index = static_cast<uint32_t>(rng.Uniform(64));
+  record.new_version = 1 + rng.Uniform(5);
+  record.reenc_counter_after = 1 + rng.Uniform(50);
+  for (int r = 0; r < 6; ++r) {
+    Row row;
+    const uint32_t cols = 1 + static_cast<uint32_t>(rng.Uniform(4));
+    for (uint32_t c = 0; c < cols; ++c) {
+      Bytes col(1 + rng.Uniform(48));
+      for (auto& b : col) b = uint8_t(rng.Next());
+      row.columns.emplace_back(std::move(col));
+    }
+    record.rewrites.push_back({rng.Uniform(10000), std::move(row)});
+  }
+  record.enc_tag_update = Bytes(32 + rng.Uniform(200));
+  for (auto& b : record.enc_tag_update) b = uint8_t(rng.Next());
+
+  const Bytes body = SerializeWalRecord(record);
+  Bytes framed;
+  AppendFramedRecord(&framed, body);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes mutated = framed;
+    const int kind = static_cast<int>(rng.Uniform(4));
+    if (kind == 0) {  // Bit flips.
+      const int flips = 1 + static_cast<int>(rng.Uniform(8));
+      for (int f = 0; f < flips; ++f) {
+        mutated[rng.Uniform(mutated.size())] ^= uint8_t(1u << rng.Uniform(8));
+      }
+    } else if (kind == 1) {  // Truncation (a torn append).
+      mutated.resize(rng.Uniform(mutated.size()));
+    } else if (kind == 2) {  // Extension with junk.
+      const int extra = 1 + static_cast<int>(rng.Uniform(64));
+      for (int e = 0; e < extra; ++e) mutated.push_back(uint8_t(rng.Next()));
+    } else {  // Zero a window (an unwritten page-cache tail).
+      const size_t start = rng.Uniform(mutated.size());
+      const size_t len =
+          std::min<size_t>(mutated.size() - start, 1 + rng.Uniform(256));
+      std::fill(mutated.begin() + start, mutated.begin() + start + len, 0);
+    }
+
+    // Parse as replay does: frame first, then the record body.
+    size_t off = 0;
+    auto parsed = ReadFramedRecord(mutated, &off);
+    if (!parsed.ok()) continue;  // Clean rejection at the frame layer.
+    auto back = DeserializeWalRecord(*parsed);
+    if (!back.ok()) continue;  // Clean rejection at the record layer.
+    // Both layers passed: the mutation must have been byte-neutral.
+    EXPECT_EQ(SerializeWalRecord(*back), body) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalRecordFuzz,
                          ::testing::Range<uint64_t>(1, 5));
 
 }  // namespace
