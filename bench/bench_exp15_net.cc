@@ -1,0 +1,277 @@
+// Exp 15 (implementation extension, no paper counterpart): the framed-TCP
+// network front door (src/net/) under concurrent connections. The paper
+// measures the enclave pipeline in-process; a deployment talks to it over
+// a socket, so this bench prices that edge: per-query latency (p50/p99)
+// through ConcealerServer at 1 / 16 / 64 concurrent client connections,
+// aggregate throughput, and the graceful-drain time (stop accepting →
+// last in-flight response flushed → storage checkpointed).
+//
+// Correctness gate: every answer read over the wire is byte-compared
+// against the in-process registry's answer for the same query — any
+// divergence fails the run with a nonzero exit. Latency/drain gates
+// (CI sets them): CONCEALER_EXP15_MAX_P99_MS caps the worst per-sweep p99,
+// CONCEALER_EXP15_MAX_DRAIN_MS caps the drain.
+//
+// JSON: pass an output path as argv[1] (or set CONCEALER_BENCH_JSON); CI
+// uploads this as BENCH_net.json and re-checks gate.identical.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "concealer/data_provider.h"
+#include "concealer/wire.h"
+#include "enclave/registry.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/retry.h"
+#include "service/tenant_registry.h"
+#include "workload/wifi_generator.h"
+
+using namespace concealer;
+
+namespace {
+
+constexpr uint64_t kDays = 1;
+constexpr int kQueriesPerConnection = 40;
+const int kSweeps[] = {1, 16, 64};
+
+ConcealerConfig TenantConfig() {
+  ConcealerConfig config;
+  config.key_buckets = {8};
+  config.key_domains = {20};
+  config.time_buckets = 24;
+  config.num_cell_ids = 40;
+  config.epoch_seconds = 86400;
+  config.time_quantum = 60;
+  return config;
+}
+
+double PercentileMs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = std::min(
+      samples.size() - 1, static_cast<size_t>(p * (samples.size() - 1) + 0.5));
+  return samples[idx];
+}
+
+struct SweepResult {
+  int connections = 0;
+  uint64_t queries = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintHeader("Exp 15: network front door (framed TCP server)",
+                     "implementation extension; serves src/net/");
+
+  // One tenant, one day of WiFi data, served by the registry behind the
+  // TCP front door. In-memory engine: the subject is the wire, not disk.
+  const ConcealerConfig config = TenantConfig();
+  WifiConfig wifi;
+  wifi.num_access_points = 20;
+  wifi.num_devices = 50;
+  wifi.start_time = 0;
+  wifi.duration_seconds = kDays * 86400;
+  wifi.total_rows = std::max<uint64_t>(2000, 26'000'000 / bench::Scale() / 44);
+  wifi.time_quantum = config.time_quantum;
+  wifi.seed = 15;
+  const auto tuples = WifiGenerator(wifi).Generate();
+
+  DataProvider dp(config, Bytes(32, 0x15));
+  const Bytes user_secret{'b', 'e', 'n', 'c', 'h'};
+  if (!dp.RegisterUser("alice", Slice(user_secret), "").ok()) return 1;
+  auto epochs = dp.EncryptAll(tuples);
+  if (!epochs.ok()) {
+    std::fprintf(stderr, "encrypt: %s\n", epochs.status().ToString().c_str());
+    return 1;
+  }
+
+  TenantRegistryOptions registry_options;
+  registry_options.storage.engine = StorageOptions::Engine::kMemory;
+  registry_options.pool_threads = 4;
+  registry_options.service.reject_over_capacity = true;
+  registry_options.service.max_inflight = 128;
+  TenantRegistry registry(registry_options);
+  if (!registry.CreateTenant("acme", config, dp.shared_secret()).ok()) return 1;
+  if (!registry.LoadRegistry("acme", Slice(dp.EncryptedRegistry())).ok()) {
+    return 1;
+  }
+  for (const auto& e : *epochs) {
+    if (!registry.IngestEpoch("acme", e).ok()) return 1;
+  }
+
+  net::ConcealerServer server(&registry);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+  std::printf("server on 127.0.0.1:%u | %zu rows, %zu epochs\n\n",
+              server.port(), tuples.size(), epochs->size());
+
+  // A fixed query set with in-process reference answers: the wire must
+  // reproduce these bytes exactly, from every connection, every time.
+  const Bytes proof = Registry::MakeProof(Slice(user_secret), "alice");
+  auto direct_token = registry.OpenSession("acme", "alice", Slice(proof));
+  if (!direct_token.ok()) return 1;
+  std::vector<Query> queries;
+  std::vector<Bytes> want;
+  for (int i = 0; i < 16; ++i) {
+    Query q;
+    q.agg = Aggregate::kCount;
+    q.key_values = {{static_cast<uint64_t>(i % 20)}};
+    q.time_lo = (i % 6) * 3600;
+    q.time_hi = q.time_lo + 2 * 3600;
+    auto direct = registry.Query("acme", *direct_token, q);
+    if (!direct.ok()) {
+      std::fprintf(stderr, "ref query %d: %s\n", i,
+                   direct.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(q);
+    want.push_back(SerializeQueryResult(*direct));
+  }
+
+  std::vector<SweepResult> results;
+  for (int connections : kSweeps) {
+    SweepResult sweep;
+    sweep.connections = connections;
+    std::vector<std::vector<double>> latencies(connections);
+    std::vector<char> matched(connections, 1);  // vector<bool> isn't ref-able.
+    Timer wall;
+    std::vector<std::thread> workers;
+    workers.reserve(connections);
+    for (int c = 0; c < connections; ++c) {
+      workers.emplace_back([&, c] {
+        net::ConcealerClient client;
+        if (!client.Connect("127.0.0.1", server.port()).ok()) {
+          matched[c] = 0;
+          return;
+        }
+        auto token = client.OpenSession("acme", "alice", Slice(proof));
+        if (!token.ok()) {
+          matched[c] = 0;
+          return;
+        }
+        RetryOptions retry;  // Rides out admission backpressure at C=64.
+        retry.max_attempts = 50;
+        for (int i = 0; i < kQueriesPerConnection; ++i) {
+          const size_t qi = (c + i) % queries.size();
+          Timer t;
+          auto result = client.RetryQuery("acme", *token, queries[qi], retry);
+          const double ms = t.ElapsedMillis();
+          if (!result.ok() || SerializeQueryResult(*result) != want[qi]) {
+            matched[c] = 0;
+            return;
+          }
+          latencies[c].push_back(ms);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double elapsed = wall.ElapsedSeconds();
+
+    std::vector<double> all;
+    for (const auto& per_conn : latencies) {
+      all.insert(all.end(), per_conn.begin(), per_conn.end());
+    }
+    sweep.queries = all.size();
+    sweep.qps = elapsed > 0 ? static_cast<double>(all.size()) / elapsed : 0;
+    sweep.p50_ms = PercentileMs(all, 0.50);
+    sweep.p99_ms = PercentileMs(all, 0.99);
+    sweep.identical = std::all_of(matched.begin(), matched.end(),
+                                  [](char b) { return b != 0; });
+    results.push_back(sweep);
+    std::printf(
+        "%3d conns | %5llu queries | %8.1f q/s | p50 %7.3f ms | p99 %7.3f ms "
+        "| identical %s\n",
+        connections, static_cast<unsigned long long>(sweep.queries), sweep.qps,
+        sweep.p50_ms, sweep.p99_ms, sweep.identical ? "yes" : "NO");
+  }
+
+  // Graceful drain: stop accepting, flush in-flight, checkpoint storage.
+  Timer drain_timer;
+  const Status drained = server.Drain();
+  const double drain_ms = drain_timer.ElapsedMillis();
+  std::printf("\ndrain: %.2f ms (%s)\n", drain_ms,
+              drained.ok() ? "ok" : drained.ToString().c_str());
+
+  bool all_identical = drained.ok();
+  double worst_p99 = 0;
+  for (const auto& r : results) {
+    all_identical = all_identical && r.identical && r.queries > 0;
+    worst_p99 = std::max(worst_p99, r.p99_ms);
+  }
+
+  bool gates_ok = all_identical;
+  const char* p99_env = std::getenv("CONCEALER_EXP15_MAX_P99_MS");
+  if (p99_env != nullptr && worst_p99 > std::atof(p99_env)) {
+    std::fprintf(stderr, "GATE: worst p99 %.3f ms > cap %s ms\n", worst_p99,
+                 p99_env);
+    gates_ok = false;
+  }
+  const char* drain_env = std::getenv("CONCEALER_EXP15_MAX_DRAIN_MS");
+  if (drain_env != nullptr && drain_ms > std::atof(drain_env)) {
+    std::fprintf(stderr, "GATE: drain %.2f ms > cap %s ms\n", drain_ms,
+                 drain_env);
+    gates_ok = false;
+  }
+  std::printf("byte-identity over the wire: %s\n",
+              all_identical ? "IDENTICAL" : "DIVERGED");
+
+  const char* json_path = bench::BenchJsonPath(argc, argv);
+  if (json_path != nullptr) {
+    bench::JsonWriter j;
+    j.BeginObject();
+    j.Key("bench");
+    j.String("exp15_net");
+    j.Key("rows");
+    j.Number(static_cast<uint64_t>(tuples.size()));
+    j.Key("results");
+    j.BeginArray();
+    for (const auto& r : results) {
+      j.BeginObject();
+      j.Key("connections");
+      j.Number(static_cast<uint64_t>(r.connections));
+      j.Key("queries");
+      j.Number(r.queries);
+      j.Key("qps");
+      j.Number(r.qps);
+      j.Key("p50_ms");
+      j.Number(r.p50_ms);
+      j.Key("p99_ms");
+      j.Number(r.p99_ms);
+      j.Key("identical");
+      j.Bool(r.identical);
+      j.EndObject();
+    }
+    j.EndArray();
+    j.Key("drain_ms");
+    j.Number(drain_ms);
+    j.Key("gate");
+    j.BeginObject();
+    j.Key("identical");
+    j.Bool(all_identical);
+    j.Key("worst_p99_ms");
+    j.Number(worst_p99);
+    j.Key("gates_ok");
+    j.Bool(gates_ok);
+    j.EndObject();
+    j.EndObject();
+    bench::WriteFileOrDie(json_path, j.str());
+  }
+
+  bench::PrintFooter();
+  return gates_ok ? 0 : 1;
+}

@@ -23,10 +23,47 @@ const char* CodeName(Status::Code code) {
       return "UNIMPLEMENTED";
     case Status::Code::kUnavailable:
       return "UNAVAILABLE";
+    case Status::Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
 }  // namespace
+
+// One table drives both directions of the wire mapping, so a code can
+// never round-trip asymmetrically. Wire values are append-only: new codes
+// take the next number, existing numbers never change meaning.
+namespace {
+constexpr struct {
+  Status::Code code;
+  uint32_t wire;
+} kWireCodes[] = {
+    {Status::Code::kOk, 0},
+    {Status::Code::kInvalidArgument, 1},
+    {Status::Code::kNotFound, 2},
+    {Status::Code::kCorruption, 3},
+    {Status::Code::kPermissionDenied, 4},
+    {Status::Code::kFailedPrecondition, 5},
+    {Status::Code::kInternal, 6},
+    {Status::Code::kUnimplemented, 7},
+    {Status::Code::kUnavailable, 8},
+    {Status::Code::kDeadlineExceeded, 9},
+};
+}  // namespace
+
+uint32_t StatusCodeToWire(Status::Code code) {
+  for (const auto& entry : kWireCodes) {
+    if (entry.code == code) return entry.wire;
+  }
+  return StatusCodeToWire(Status::Code::kInternal);
+}
+
+Status::Code StatusCodeFromWire(uint32_t wire) {
+  for (const auto& entry : kWireCodes) {
+    if (entry.wire == wire) return entry.code;
+  }
+  return Status::Code::kInternal;
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

@@ -23,6 +23,7 @@ class Status {
     kInternal,
     kUnimplemented,
     kUnavailable,
+    kDeadlineExceeded,
   };
 
   /// Default-constructed status is OK.
@@ -55,6 +56,21 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  /// The request's deadline passed before (or while) it was served. Unlike
+  /// kUnavailable this is NOT retryable as-is: the work the caller asked
+  /// for is already too late, and retrying the same expired deadline can
+  /// never help. The network front door sheds such work before touching
+  /// the enclave (net/server.cc).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// Rebuilds a status from an explicit code + message — the inverse of
+  /// code()/message(), used when a status crosses a process boundary (the
+  /// network wire mapping below).
+  static Status FromCode(Code code, std::string msg) {
+    if (code == Code::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -67,6 +83,7 @@ class Status {
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -91,6 +108,15 @@ class Status {
   std::string message_;
   uint64_t retry_after_ms_ = 0;
 };
+
+/// Stable numeric encoding of a status code for the network wire
+/// (net/wire_format.cc). The enum's in-memory values are an implementation
+/// detail; these two functions define the cross-process contract, so codes
+/// may be reordered in the enum without breaking deployed peers.
+uint32_t StatusCodeToWire(Status::Code code);
+/// Inverse mapping. Unknown wire values (a newer peer) decode to kInternal
+/// rather than being misread as some specific failure.
+Status::Code StatusCodeFromWire(uint32_t wire);
 
 /// Either a value of type `T` or an error `Status`. Accessing the value of a
 /// non-OK `StatusOr` is a programming error (asserted in debug builds).

@@ -84,6 +84,22 @@ StatusOr<Slice> ReadFramedRecord(Slice data, size_t* off) {
   return body;
 }
 
+FramePeek PeekFrameHeader(Slice data, uint64_t* body_len) {
+  const uint8_t* p = data.data();
+  // Magic and version are checked as soon as their bytes arrive, so a
+  // peer speaking the wrong protocol is rejected on its first packet
+  // instead of being buffered until a full header shows up.
+  if (data.size() >= 4 && DecodeFixed32(p) != kMagic) {
+    return FramePeek::kBadMagic;
+  }
+  if (data.size() >= 8 && DecodeFixed32(p + 4) != kVersion) {
+    return FramePeek::kBadVersion;
+  }
+  if (data.size() < kFrameHeader) return FramePeek::kNeedMoreData;
+  *body_len = DecodeFixed64(p + 16);
+  return FramePeek::kOk;
+}
+
 namespace {
 
 Bytes SerializeEpochBody(const EncryptedEpoch& epoch) {

@@ -54,6 +54,19 @@ void WriteFramedRecordTo(uint8_t* dst, Slice body);
 /// truncated frame or body, checksum mismatch).
 StatusOr<Slice> ReadFramedRecord(Slice data, size_t* off);
 
+/// Incremental-reassembly peek for streaming transports (net/server.cc):
+/// classifies the frame header at data[0..] without needing — or trusting —
+/// the body. A reader that has only a prefix of a frame can tell apart
+/// "wait for more bytes" from "this peer is speaking garbage" before
+/// buffering a body whose declared length may be hostile.
+enum class FramePeek {
+  kNeedMoreData,  // Fewer than FramedSize(0) bytes so far; keep reading.
+  kBadMagic,      // Not one of our frames: fail the connection closed.
+  kBadVersion,    // Frame from an incompatible peer.
+  kOk,            // Header well-formed; *body_len is the declared length.
+};
+FramePeek PeekFrameHeader(Slice data, uint64_t* body_len);
+
 // --- Epoch metadata sidecar -----------------------------------------------
 
 /// Everything a restarted service provider needs to re-adopt an ingested

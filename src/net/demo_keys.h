@@ -1,0 +1,64 @@
+#ifndef CONCEALER_NET_DEMO_KEYS_H_
+#define CONCEALER_NET_DEMO_KEYS_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "concealer/types.h"
+#include "crypto/sha256.h"
+
+namespace concealer {
+namespace net {
+
+/// Deterministic DEMO credentials shared by concealer_server's
+/// --demo-keys mode and the network_quickstart driver.
+///
+/// The paper's model provisions enclave key material out of band (DP →
+/// enclave, never through the untrusted service path). A restarted server
+/// needs that band to recover tenants from their segment directories —
+/// OpenAll demands each tenant's config and secret, and the disk
+/// deliberately holds neither. For demos and the CI kill -9 e2e, this
+/// header IS the band: both processes derive the same secrets from the
+/// tenant id alone, so a restarted server and an already-running client
+/// agree without any key exchange. Nothing here is security — the point
+/// is determinism across processes, clearly fenced off from production
+/// paths (the server only consults it behind an explicit flag).
+
+/// Per-tenant enclave secret: SHA256("concealer-demo-sk|" ‖ tenant_id).
+/// (Tenant ids cannot contain '|' — IsValidTenantId — so the domain
+/// separator is unambiguous.)
+inline Bytes DemoTenantSecret(const std::string& tenant_id) {
+  const std::string seed = "concealer-demo-sk|" + tenant_id;
+  Sha256::Digest digest = Sha256::Hash(Slice(
+      reinterpret_cast<const uint8_t*>(seed.data()), seed.size()));
+  return Bytes(digest.begin(), digest.end());
+}
+
+/// Per-tenant, per-user demo password.
+inline Bytes DemoUserSecret(const std::string& tenant_id,
+                            const std::string& user_id) {
+  const std::string seed =
+      "concealer-demo-user|" + tenant_id + "|" + user_id;
+  Sha256::Digest digest = Sha256::Hash(Slice(
+      reinterpret_cast<const uint8_t*>(seed.data()), seed.size()));
+  return Bytes(digest.begin(), digest.end());
+}
+
+/// The fixed table geometry every demo tenant uses. Restart recovery must
+/// re-present the SAME config a tenant was created with; pinning one
+/// shape makes the resolver stateless.
+inline ConcealerConfig DemoConfig() {
+  ConcealerConfig config;
+  config.key_buckets = {8};
+  config.key_domains = {10};
+  config.time_buckets = 24;
+  config.num_cell_ids = 40;
+  config.epoch_seconds = 86400;
+  config.time_quantum = 60;
+  return config;
+}
+
+}  // namespace net
+}  // namespace concealer
+
+#endif  // CONCEALER_NET_DEMO_KEYS_H_

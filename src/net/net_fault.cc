@@ -1,0 +1,144 @@
+#include "net/net_fault.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+
+namespace concealer {
+namespace net_fault {
+namespace {
+
+// Hot-path gate: one relaxed load when disarmed.
+std::atomic<bool> g_armed{false};
+
+std::mutex g_mu;
+uint64_t g_fail_at = 0;  // 1-based op to fail; 0 = count only.
+Mode g_mode = Mode::kClean;
+uint64_t g_ops = 0;
+bool g_triggered = false;
+
+enum class Verdict { kPass, kFailClean, kFailTorn, kStall };
+
+Verdict Account() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_triggered) {
+    return g_mode == Mode::kStall ? Verdict::kStall : Verdict::kFailClean;
+  }
+  ++g_ops;
+  if (g_fail_at != 0 && g_ops == g_fail_at) {
+    g_triggered = true;
+    switch (g_mode) {
+      case Mode::kClean:
+        return Verdict::kFailClean;
+      case Mode::kTorn:
+        return Verdict::kFailTorn;
+      case Mode::kStall:
+        return Verdict::kStall;
+    }
+  }
+  return Verdict::kPass;
+}
+
+}  // namespace
+
+void Arm(uint64_t fail_at_op, Mode mode) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_fail_at = fail_at_op;
+  g_mode = mode;
+  g_ops = 0;
+  g_triggered = false;
+  g_armed.store(true, std::memory_order_release);
+}
+
+void Disarm() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_fail_at = 0;
+  g_mode = Mode::kClean;
+  g_ops = 0;
+  g_triggered = false;
+  g_armed.store(false, std::memory_order_release);
+}
+
+uint64_t OpsIssued() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_ops;
+}
+
+bool Triggered() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_triggered;
+}
+
+ssize_t Recv(int fd, void* buf, size_t n) {
+  if (!g_armed.load(std::memory_order_acquire)) {
+    return ::read(fd, buf, n);
+  }
+  switch (Account()) {
+    case Verdict::kPass:
+      return ::read(fd, buf, n);
+    case Verdict::kStall:
+      errno = EAGAIN;
+      return -1;
+    case Verdict::kFailClean:
+    case Verdict::kFailTorn:  // A read has no bytes to tear.
+      errno = ECONNRESET;
+      return -1;
+  }
+  errno = ECONNRESET;
+  return -1;
+}
+
+ssize_t Send(int fd, const void* buf, size_t n) {
+  // MSG_NOSIGNAL: a peer that died mid-conversation surfaces as EPIPE,
+  // never as a process-killing SIGPIPE.
+  if (!g_armed.load(std::memory_order_acquire)) {
+    return ::send(fd, buf, n, MSG_NOSIGNAL);
+  }
+  switch (Account()) {
+    case Verdict::kPass:
+      return ::send(fd, buf, n, MSG_NOSIGNAL);
+    case Verdict::kStall:
+      errno = EAGAIN;
+      return -1;
+    case Verdict::kFailTorn: {
+      // Transmit a strict prefix, then die: the peer sees a half frame
+      // followed by a reset — exactly what a mid-write kill -9 leaves.
+      size_t prefix = n / 2;
+      if (prefix > 0) {
+        // Best effort; the connection is doomed either way.
+        ::send(fd, buf, prefix, MSG_NOSIGNAL);
+      }
+      errno = ECONNRESET;
+      return -1;
+    }
+    case Verdict::kFailClean:
+      errno = ECONNRESET;
+      return -1;
+  }
+  errno = ECONNRESET;
+  return -1;
+}
+
+int Accept(int fd, struct sockaddr* addr, socklen_t* addrlen) {
+  if (!g_armed.load(std::memory_order_acquire)) {
+    return ::accept(fd, addr, addrlen);
+  }
+  switch (Account()) {
+    case Verdict::kPass:
+      return ::accept(fd, addr, addrlen);
+    case Verdict::kStall:
+      errno = EAGAIN;
+      return -1;
+    case Verdict::kFailClean:
+    case Verdict::kFailTorn:
+      errno = ECONNRESET;
+      return -1;
+  }
+  errno = ECONNRESET;
+  return -1;
+}
+
+}  // namespace net_fault
+}  // namespace concealer

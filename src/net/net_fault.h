@@ -1,0 +1,68 @@
+#ifndef CONCEALER_NET_NET_FAULT_H_
+#define CONCEALER_NET_NET_FAULT_H_
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace concealer {
+
+/// Deterministic fault-injection shim over the SOCKET operations the
+/// network front door issues, mirroring storage/fault_fs.h: every
+/// read/write/accept on the wire — server and client side alike — goes
+/// through these wrappers, so a crash-point sweep can enumerate the
+/// injection points of a networked workload instead of sampling them:
+///
+///   net_fault::Arm(0)          — count mode: ops pass through, the counter
+///                                runs; OpsIssued() after a reference run
+///                                is the number of wire crash points N.
+///   net_fault::Arm(k, mode)    — fail the k-th op (1-based):
+///       kClean — the op fails with ECONNRESET (a torn connection);
+///       kTorn  — a Send transmits a PREFIX of the buffer before failing
+///                (the shape a mid-write kill leaves on the wire); other
+///                ops fail clean;
+///       kStall — the op reports EAGAIN, and so does every later op: the
+///                peer has hung without closing. Nothing ever completes
+///                until Disarm() — surviving this is what the server's
+///                idle-timeout/deadline machinery is for.
+///   After the injected failure the shim stays DOWN: in kClean/kTorn every
+///   later op fails with ECONNRESET too, modeling a process whose peer
+///   died and whose own sockets are all torn (tests then hard-stop the
+///   server, restart, and Disarm — the new process gets a fresh wire).
+///   net_fault::Disarm()        — back to transparent passthrough.
+///
+/// Disarmed, the wrappers are direct syscall passthroughs guarded by one
+/// relaxed atomic load. State is process-global; Arm/Disarm are not meant
+/// to race with in-flight I/O beyond the tests' own sequencing.
+namespace net_fault {
+
+enum class Mode { kClean, kTorn, kStall };
+
+/// Starts counting ops; op number `fail_at_op` (1-based) fails per `mode`.
+/// 0 = count only, never fail.
+void Arm(uint64_t fail_at_op, Mode mode = Mode::kClean);
+
+/// Stops injection and counting; clears counters and the down state.
+void Disarm();
+
+/// Ops counted since the last Arm().
+uint64_t OpsIssued();
+
+/// True once the armed failure has fired.
+bool Triggered();
+
+// --- Intercepted operations ------------------------------------------------
+// Same contracts as the raw syscalls (errno set on failure). Partial
+// reads/writes are passed through unchanged — short-write handling is the
+// caller's job, exactly as with raw sockets.
+
+ssize_t Recv(int fd, void* buf, size_t n);
+ssize_t Send(int fd, const void* buf, size_t n);
+int Accept(int fd, struct sockaddr* addr, socklen_t* addrlen);
+
+}  // namespace net_fault
+}  // namespace concealer
+
+#endif  // CONCEALER_NET_NET_FAULT_H_

@@ -1,0 +1,794 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "concealer/epoch_io.h"
+#include "concealer/wire.h"
+#include "net/net_fault.h"
+
+namespace concealer {
+namespace net {
+namespace {
+
+// epoll user-data tags for the two non-connection fds; connection ids
+// count up from 1 and never reach these.
+constexpr uint64_t kListenTag = ~0ull;
+constexpr uint64_t kWakeTag = ~0ull - 1;
+
+constexpr int kMaxEpollEvents = 64;
+// Loop tick: bounds idle-sweep latency and drain-progress checks.
+constexpr int kEpollTimeoutMs = 50;
+constexpr size_t kReadChunk = 64 * 1024;
+
+uint64_t MonotonicMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal("fcntl(O_NONBLOCK): " +
+                            std::string(::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+bool DeadlineExpired(const NetHeader& header) {
+  return header.deadline_unix_ms != 0 && WallMs() > header.deadline_unix_ms;
+}
+
+bool IsAdmin(MsgType type) {
+  return type == MsgType::kCreateTenant || type == MsgType::kLoadRegistry ||
+         type == MsgType::kSetDynamicMode;
+}
+
+}  // namespace
+
+/// Per-connection state, owned exclusively by the loop thread.
+struct ConcealerServer::Conn {
+  uint64_t id = 0;
+  int fd = -1;
+  Bytes in;           // Reassembly buffer; in_off bytes already consumed.
+  size_t in_off = 0;
+  Bytes out;          // Pending response bytes; out_off already written.
+  size_t out_off = 0;
+  uint32_t inflight = 0;    // Requests of this connection on workers.
+  bool peer_closed = false; // EOF read; close once inflight + out drain.
+  bool want_write = false;  // EPOLLOUT currently armed.
+  uint64_t last_activity_ms = 0;
+};
+
+ConcealerServer::ConcealerServer(TenantRegistry* registry,
+                                 ServerOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+ConcealerServer::~ConcealerServer() { Abort(); }
+
+Status ConcealerServer::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (started_.load()) return Status::FailedPrecondition("already started");
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    return Status::Internal("epoll_create1: " + std::string(::strerror(errno)));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return Status::Internal("eventfd: " + std::string(::strerror(errno)));
+  }
+  struct epoll_event ev;
+  ::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return Status::Internal("epoll_ctl(wake): " +
+                            std::string(::strerror(errno)));
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("socket: " + std::string(::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return Status::Internal("bind: " + std::string(::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    return Status::Internal("listen: " + std::string(::strerror(errno)));
+  }
+  CONCEALER_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    return Status::Internal("getsockname: " + std::string(::strerror(errno)));
+  }
+  port_ = ntohs(addr.sin_port);
+  ::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return Status::Internal("epoll_ctl(listen): " +
+                            std::string(::strerror(errno)));
+  }
+
+  started_.store(true);
+  loop_ = std::thread([this] { LoopBody(); });
+  return Status::OK();
+}
+
+void ConcealerServer::Wake() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WakeLocked();
+}
+
+void ConcealerServer::WakeLocked() {
+  // wake_fd_ is guarded by mu_ against StopLoopAndCloseFds closing and
+  // resetting it while a worker is mid-wake.
+  if (wake_fd_ >= 0) {
+    uint64_t one = 1;
+    // An EAGAIN here means the counter is already nonzero: the loop will
+    // wake regardless, so the result is deliberately ignored.
+    ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+}
+
+Status ConcealerServer::AdoptConnection(int fd) {
+  if (!started_.load()) {
+    ::close(fd);
+    return Status::FailedPrecondition("server not started");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    adopt_queue_.push_back(fd);
+  }
+  Wake();
+  return Status::OK();
+}
+
+ConcealerServer::Stats ConcealerServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats copy = stats_;
+  copy.inflight = pending_;
+  copy.draining = draining_.load();
+  return copy;
+}
+
+HealthInfo ConcealerServer::Health() const {
+  HealthInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    info.draining = draining_.load();
+    info.inflight = pending_;
+    info.open_connections = stats_.open_connections;
+  }
+  for (const TenantRegistry::TenantRecovery& recovery :
+       registry_->recovery_statuses()) {
+    HealthInfo::Tenant tenant;
+    tenant.tenant_id = recovery.tenant_id;
+    tenant.recovery_code = StatusCodeToWire(recovery.status.code());
+    tenant.recovery_message = recovery.status.message();
+    info.tenants.push_back(std::move(tenant));
+  }
+  return info;
+}
+
+// --- Event loop ------------------------------------------------------------
+
+void ConcealerServer::LoopBody() {
+  struct epoll_event events[kMaxEpollEvents];
+  bool listen_open = true;
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Drain: the loop (the only thread that may touch fds) retires the
+    // listen socket, so no new connection can arrive mid-drain.
+    if (draining_.load(std::memory_order_acquire) && listen_open &&
+        listen_fd_ >= 0) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      listen_open = false;
+    }
+
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, kEpollTimeoutMs);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      if (tag == kWakeTag) {
+        uint64_t counter;
+        while (::read(wake_fd_, &counter, sizeof(counter)) > 0) {
+        }
+      } else if (tag == kListenTag) {
+        if (listen_open) HandleListen();
+      } else {
+        HandleConnEvent(tag, events[i].events);
+      }
+    }
+
+    // Adopted fds and worker completions arrive via the wake queue.
+    std::vector<int> adopted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      adopted.swap(adopt_queue_);
+    }
+    for (int fd : adopted) {
+      if (!SetNonBlocking(fd).ok()) {
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->id = next_conn_id_++;
+      conn->fd = fd;
+      conn->last_activity_ms = MonotonicMs();
+      struct epoll_event ev;
+      ::memset(&ev, 0, sizeof(ev));
+      ev.events = EPOLLIN;
+      ev.data.u64 = conn->id;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+        ::close(fd);
+        continue;
+      }
+      conns_[conn->id] = std::move(conn);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.adopted;
+      stats_.open_connections = conns_.size();
+    }
+    DrainCompletions();
+
+    if (options_.idle_timeout_ms > 0) SweepIdle(MonotonicMs());
+
+    if (draining_.load(std::memory_order_acquire)) {
+      // Quiesced = no worker task in flight, no completion unrouted, no
+      // response byte unflushed. Signal the Drain() caller.
+      bool flushed = true;
+      for (const auto& entry : conns_) {
+        if (entry.second->out.size() > entry.second->out_off ||
+            entry.second->inflight > 0) {
+          flushed = false;
+          break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (flushed && pending_ == 0 && completions_.empty()) {
+        drain_quiesced_ = true;
+        quiesce_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ConcealerServer::HandleListen() {
+  for (;;) {
+    int fd = net_fault::Accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN, or the fault shim is down.
+    if (conns_.size() >= options_.max_connections ||
+        !SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conn->last_activity_ms = MonotonicMs();
+    struct epoll_event ev;
+    ::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_[conn->id] = std::move(conn);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.accepted;
+    stats_.open_connections = conns_.size();
+  }
+}
+
+void ConcealerServer::HandleConnEvent(uint64_t conn_id, uint32_t events) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // Raced with a close; event is stale.
+  Conn* conn = it->second.get();
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    CloseConn(conn_id, /*malformed=*/false);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    if (!FlushOut(conn)) return;  // Connection died mid-write.
+  }
+  if (events & EPOLLIN) {
+    if (!ReadAndDispatch(conn)) return;
+  }
+}
+
+bool ConcealerServer::ReadAndDispatch(Conn* conn) {
+  uint8_t chunk[kReadChunk];
+  for (;;) {
+    ssize_t got = net_fault::Recv(conn->fd, chunk, sizeof(chunk));
+    if (got > 0) {
+      conn->in.insert(conn->in.end(), chunk, chunk + got);
+      conn->last_activity_ms = MonotonicMs();
+      if (static_cast<size_t>(got) < sizeof(chunk)) break;
+      continue;
+    }
+    if (got == 0) {
+      // EOF. Keep the connection around while responses are still owed
+      // (a client may legally shutdown(WR) and read the tail).
+      conn->peer_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(conn->id, /*malformed=*/false);
+    return false;
+  }
+
+  // Reassemble complete frames from the buffer.
+  for (;;) {
+    Slice pending(conn->in.data() + conn->in_off,
+                  conn->in.size() - conn->in_off);
+    if (pending.empty()) break;
+    uint64_t body_len = 0;
+    FramePeek peek = PeekFrameHeader(pending, &body_len);
+    if (peek == FramePeek::kNeedMoreData) break;
+    if (peek != FramePeek::kOk || body_len > options_.max_frame_bytes) {
+      // Garbage magic, alien frame version, or a hostile length: this
+      // peer is not speaking our protocol. Fail closed without buffering
+      // another byte.
+      CloseConn(conn->id, /*malformed=*/true);
+      return false;
+    }
+    if (pending.size() < FramedSize(body_len)) break;  // Body still coming.
+    size_t off = 0;
+    StatusOr<Slice> body = ReadFramedRecord(pending, &off);
+    if (!body.ok()) {  // Checksum mismatch: mangled in transit.
+      CloseConn(conn->id, /*malformed=*/true);
+      return false;
+    }
+    conn->in_off += off;
+    if (!DispatchFrame(conn, *body)) return false;
+  }
+  // Compact the consumed prefix once it dominates the buffer.
+  if (conn->in_off > 0 && (conn->in_off == conn->in.size() ||
+                           conn->in_off >= (64u << 10))) {
+    conn->in.erase(conn->in.begin(), conn->in.begin() + conn->in_off);
+    conn->in_off = 0;
+  }
+  if (conn->peer_closed && conn->inflight == 0 &&
+      conn->out.size() == conn->out_off) {
+    CloseConn(conn->id, /*malformed=*/false);
+    return false;
+  }
+  return true;
+}
+
+bool ConcealerServer::DispatchFrame(Conn* conn, Slice body) {
+  StatusOr<ParsedRequest> request = ParseRequest(body);
+  if (!request.ok()) {
+    // Structurally invalid body inside a checksum-valid frame: the peer
+    // is confused or hostile either way. Fail closed.
+    CloseConn(conn->id, /*malformed=*/true);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+  const NetHeader& header = request->header;
+
+  // Health is answered inline on the loop thread, even while draining —
+  // it is exactly the endpoint an orchestrator polls during shutdown.
+  if (header.type == MsgType::kHealth) {
+    Bytes payload = EncodeHealthInfo(Health());
+    RespondNow(conn, header.request_id, Status::OK(),
+               Slice(payload.data(), payload.size()));
+    return true;
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.shed_draining;
+    }
+    Status unavailable = Status::Unavailable("server draining")
+                             .WithRetryAfterMs(options_.drain_retry_after_ms);
+    RespondNow(conn, header.request_id, unavailable, Slice());
+    return true;
+  }
+  // First deadline gate: a request that expired in the kernel's socket
+  // buffer is shed before it costs a single enclave cycle.
+  if (DeadlineExpired(header)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.shed_deadline;
+    }
+    RespondNow(conn, header.request_id,
+               Status::DeadlineExceeded("deadline expired before dispatch"),
+               Slice());
+    return true;
+  }
+  if (IsAdmin(header.type) && !options_.allow_admin) {
+    RespondNow(conn, header.request_id,
+               Status::PermissionDenied("admin plane disabled"), Slice());
+    return true;
+  }
+  DispatchToWorker(conn, *request);
+  return true;
+}
+
+void ConcealerServer::RespondNow(Conn* conn, uint64_t request_id,
+                                 const Status& status, Slice payload) {
+  Bytes frame = EncodeResponse(request_id, status, payload);
+  conn->out.insert(conn->out.end(), frame.begin(), frame.end());
+  conn->last_activity_ms = MonotonicMs();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status.ok()) {
+      ++stats_.responses_ok;
+    } else {
+      ++stats_.responses_error;
+    }
+  }
+  UpdateConnEpoll(conn);
+}
+
+void ConcealerServer::DispatchToWorker(Conn* conn,
+                                       const ParsedRequest& request) {
+  // The payload is a view into the connection's reassembly buffer, which
+  // the loop recycles as soon as this returns — the worker gets a copy.
+  Bytes payload(request.payload.data(),
+                request.payload.data() + request.payload.size());
+  NetHeader header = request.header;
+  ++conn->inflight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  uint64_t conn_id = conn->id;
+
+  // Tag the submission with the tenant's scheduling class so the request
+  // queues under the tenant's DRR share from the very first hop — wire
+  // traffic cannot launder work into another tenant's queue. Unknown
+  // tenants fall to class 0; the worker will produce the NotFound.
+  uint64_t sched_class = 0;
+  StatusOr<QueryService*> service = registry_->tenant(header.tenant_id);
+  if (service.ok()) sched_class = (*service)->sched_class();
+  ThreadPool::TagScope tag(registry_->shared_pool(), sched_class);
+  registry_->shared_pool()->Submit(
+      [this, conn_id, header = std::move(header),
+       payload = std::move(payload)]() mutable {
+        ExecuteRequest(conn_id, std::move(header), std::move(payload));
+      });
+}
+
+// --- Worker side -----------------------------------------------------------
+
+void ConcealerServer::ExecuteRequest(uint64_t conn_id, NetHeader header,
+                                     Bytes payload_copy) {
+  Completion completion;
+  completion.conn_id = conn_id;
+  // Second deadline gate: queueing on a loaded pool may have consumed the
+  // budget since dispatch. Shed before decrypting anything.
+  if (DeadlineExpired(header)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.shed_deadline;
+    }
+    completion.frame = EncodeResponse(
+        header.request_id,
+        Status::DeadlineExceeded("deadline expired in queue"), Slice());
+  } else {
+    StatusOr<Bytes> result = ExecuteByType(
+        header, Slice(payload_copy.data(), payload_copy.size()));
+    if (result.ok()) {
+      completion.ok = true;
+      completion.frame =
+          EncodeResponse(header.request_id, Status::OK(),
+                         Slice(result->data(), result->size()));
+    } else {
+      completion.frame =
+          EncodeResponse(header.request_id, result.status(), Slice());
+    }
+  }
+  PushCompletion(std::move(completion));
+}
+
+StatusOr<Bytes> ConcealerServer::ExecuteByType(const NetHeader& header,
+                                               Slice payload) {
+  switch (header.type) {
+    case MsgType::kOpenSession: {
+      StatusOr<OpenSessionReq> req = ParseOpenSessionReq(payload);
+      if (!req.ok()) return req.status();
+      StatusOr<std::string> token = registry_->OpenSession(
+          header.tenant_id, req->user_id,
+          Slice(req->proof.data(), req->proof.size()));
+      if (!token.ok()) return token.status();
+      return Bytes(token->begin(), token->end());
+    }
+    case MsgType::kCloseSession: {
+      StatusOr<CloseSessionReq> req = ParseCloseSessionReq(payload);
+      if (!req.ok()) return req.status();
+      registry_->CloseSession(header.tenant_id, req->token);
+      return Bytes();
+    }
+    case MsgType::kQuery: {
+      StatusOr<QueryReq> req = ParseQueryReq(payload);
+      if (!req.ok()) return req.status();
+      if (req->encrypted) {
+        return registry_->QueryEncrypted(header.tenant_id, req->token,
+                                         req->query);
+      }
+      StatusOr<QueryResult> result =
+          registry_->Query(header.tenant_id, req->token, req->query);
+      if (!result.ok()) return result.status();
+      return SerializeQueryResult(*result);
+    }
+    case MsgType::kQueryBatch: {
+      StatusOr<QueryBatchReq> req = ParseQueryBatchReq(payload);
+      if (!req.ok()) return req.status();
+      std::vector<TenantRegistry::TenantQuery> batch;
+      batch.reserve(req->queries.size());
+      for (const QueryReq& q : req->queries) {
+        batch.push_back({header.tenant_id, q.token, q.query});
+      }
+      std::vector<StatusOr<QueryResult>> results =
+          registry_->QueryBatch(batch);
+      std::vector<BatchItem> items;
+      items.reserve(results.size());
+      for (const StatusOr<QueryResult>& r : results) {
+        BatchItem item;
+        item.status = r.status();
+        if (r.ok()) item.result = SerializeQueryResult(*r);
+        items.push_back(std::move(item));
+      }
+      return EncodeBatchItems(items);
+    }
+    case MsgType::kIngestEpoch: {
+      StatusOr<EncryptedEpoch> epoch = DeserializeEpoch(payload);
+      if (!epoch.ok()) return epoch.status();
+      CONCEALER_RETURN_IF_ERROR(
+          registry_->IngestEpoch(header.tenant_id, *epoch));
+      return Bytes();
+    }
+    case MsgType::kCreateTenant: {
+      StatusOr<CreateTenantReq> req = ParseCreateTenantReq(payload);
+      if (!req.ok()) return req.status();
+      TenantQoS qos;
+      qos.weight = req->qos_weight;
+      qos.max_inflight = req->qos_max_inflight;
+      CONCEALER_RETURN_IF_ERROR(registry_->CreateTenant(
+          header.tenant_id, req->config, std::move(req->sk), qos));
+      return Bytes();
+    }
+    case MsgType::kLoadRegistry: {
+      CONCEALER_RETURN_IF_ERROR(
+          registry_->LoadRegistry(header.tenant_id, payload));
+      return Bytes();
+    }
+    case MsgType::kSetDynamicMode: {
+      StatusOr<SetDynamicModeReq> req = ParseSetDynamicModeReq(payload);
+      if (!req.ok()) return req.status();
+      StatusOr<QueryService*> service = registry_->tenant(header.tenant_id);
+      if (!service.ok()) return service.status();
+      (*service)->set_dynamic_mode(req->dynamic);
+      return Bytes();
+    }
+    default:
+      // ParseRequest bounds the type; this is unreachable via the wire.
+      return Status::Unimplemented("unhandled message type");
+  }
+}
+
+void ConcealerServer::PushCompletion(Completion completion) {
+  std::lock_guard<std::mutex> lock(mu_);
+  completions_.push_back(std::move(completion));
+  // Wake BEFORE the decrement, inside the lock: the instant pending_ hits
+  // zero, WaitPendingTasks can return and the server be destroyed, so no
+  // member access (wake_fd_ included) is legal past that point.
+  WakeLocked();
+  --pending_;
+  quiesce_cv_.notify_all();
+}
+
+void ConcealerServer::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    auto it = conns_.find(completion.conn_id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (completion.ok) {
+        ++stats_.responses_ok;
+      } else {
+        ++stats_.responses_error;
+      }
+    }
+    if (it == conns_.end()) continue;  // Connection died while we worked.
+    Conn* conn = it->second.get();
+    if (conn->inflight > 0) --conn->inflight;
+    conn->out.insert(conn->out.end(), completion.frame.begin(),
+                     completion.frame.end());
+    conn->last_activity_ms = MonotonicMs();
+    if (!FlushOut(conn)) continue;  // Closed mid-write.
+    if (conn->peer_closed && conn->inflight == 0 &&
+        conn->out.size() == conn->out_off) {
+      CloseConn(conn->id, /*malformed=*/false);
+    }
+  }
+}
+
+bool ConcealerServer::FlushOut(Conn* conn) {
+  while (conn->out_off < conn->out.size()) {
+    ssize_t sent = net_fault::Send(conn->fd, conn->out.data() + conn->out_off,
+                                   conn->out.size() - conn->out_off);
+    if (sent > 0) {
+      conn->out_off += static_cast<size_t>(sent);
+      conn->last_activity_ms = MonotonicMs();
+      continue;
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UpdateConnEpoll(conn);
+      return true;  // Kernel buffer full; EPOLLOUT will resume us.
+    }
+    CloseConn(conn->id, /*malformed=*/false);
+    return false;
+  }
+  if (conn->out_off == conn->out.size() && !conn->out.empty()) {
+    conn->out.clear();
+    conn->out_off = 0;
+  }
+  UpdateConnEpoll(conn);
+  return true;
+}
+
+void ConcealerServer::UpdateConnEpoll(Conn* conn) {
+  bool want_write = conn->out_off < conn->out.size();
+  if (want_write == conn->want_write) return;
+  conn->want_write = want_write;
+  struct epoll_event ev;
+  ::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  if (want_write) ev.events |= EPOLLOUT;
+  ev.data.u64 = conn->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void ConcealerServer::CloseConn(uint64_t conn_id, bool malformed) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  const int fd = it->second->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  conns_.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.closed;
+    if (malformed) ++stats_.malformed_closed;
+    stats_.open_connections = conns_.size();
+  }
+  // The close comes last: a peer observing EOF must already see the
+  // updated counters, or polling stats after EOF races.
+  ::close(fd);
+}
+
+void ConcealerServer::SweepIdle(uint64_t now_ms) {
+  std::vector<uint64_t> idle;
+  for (const auto& entry : conns_) {
+    const Conn& conn = *entry.second;
+    if (now_ms - conn.last_activity_ms > options_.idle_timeout_ms) {
+      idle.push_back(conn.id);
+    }
+  }
+  for (uint64_t id : idle) {
+    {
+      // Counted before CloseConn so a peer observing the EOF already
+      // sees idle_closed incremented.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.idle_closed;
+    }
+    CloseConn(id, /*malformed=*/false);
+  }
+}
+
+// --- Shutdown --------------------------------------------------------------
+
+Status ConcealerServer::Drain() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!started_.load() || stopped_) return Status::OK();
+  draining_.store(true, std::memory_order_release);
+  Wake();
+
+  // Wait for the loop to report quiescence: every in-flight request
+  // finished AND its response bytes reached the kernel.
+  bool quiesced;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    quiesced = quiesce_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_grace_ms),
+        [this] { return drain_quiesced_; });
+  }
+  if (!quiesced) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.drain_shed_connections += stats_.open_connections;
+  }
+
+  StopLoopAndCloseFds();
+  WaitPendingTasks();
+
+  // Checkpoint every tenant's dynamic WAL so the drained process leaves
+  // an empty log behind: the whole point of asking politely (SIGTERM)
+  // instead of killing. Recovery correctness never depends on this —
+  // that is the storage layer's crash argument — only restart latency.
+  Status first_error = Status::OK();
+  for (const std::string& tenant_id : registry_->TenantIds()) {
+    StatusOr<QueryService*> service = registry_->tenant(tenant_id);
+    if (!service.ok()) continue;  // Dropped concurrently; nothing to do.
+    Status maintained = (*service)->MaintainStorage();
+    if (!maintained.ok() && first_error.ok()) first_error = maintained;
+  }
+  stopped_ = true;
+  return first_error;
+}
+
+void ConcealerServer::Abort() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!started_.load() || stopped_) return;
+  StopLoopAndCloseFds();
+  WaitPendingTasks();
+  stopped_ = true;
+}
+
+void ConcealerServer::StopLoopAndCloseFds() {
+  stop_.store(true, std::memory_order_release);
+  Wake();
+  if (loop_.joinable()) loop_.join();
+  size_t n = conns_.size();
+  for (auto& entry : conns_) ::close(entry.second->fd);
+  conns_.clear();
+  // The fds are closed and reset under mu_: workers still in
+  // PushCompletion read wake_fd_ under the same lock (WakeLocked).
+  std::lock_guard<std::mutex> lock(mu_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+  stats_.closed += n;
+  stats_.open_connections = 0;
+}
+
+void ConcealerServer::WaitPendingTasks() {
+  // Worker tasks hold `this` (and the registry); they cannot be
+  // cancelled, only outlived. Their completions land in completions_ and
+  // are discarded with it.
+  std::unique_lock<std::mutex> lock(mu_);
+  quiesce_cv_.wait(lock, [this] { return pending_ == 0; });
+  completions_.clear();
+}
+
+}  // namespace net
+}  // namespace concealer

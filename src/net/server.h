@@ -1,0 +1,216 @@
+#ifndef CONCEALER_NET_SERVER_H_
+#define CONCEALER_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "net/wire_format.h"
+#include "service/tenant_registry.h"
+
+namespace concealer {
+namespace net {
+
+struct ServerOptions {
+  /// Listen address; loopback by default — the paper's service provider
+  /// fronts the enclave on one box, cross-host deployment is a routing
+  /// concern above this layer.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 = kernel-assigned (read back via port()).
+  uint16_t port = 0;
+  /// Hard cap on a frame's declared body length. A peer declaring more is
+  /// cut off before the server buffers a single byte of the body, so a
+  /// hostile 8-byte length field cannot translate into an 8-exabyte
+  /// allocation.
+  uint64_t max_frame_bytes = 64ull << 20;
+  /// Connections idle (no bytes in either direction, no request in
+  /// flight) longer than this are closed. 0 disables the sweep.
+  uint64_t idle_timeout_ms = 0;
+  /// How long Drain() waits for in-flight requests to finish and their
+  /// responses to flush before giving up and shedding what remains.
+  uint64_t drain_grace_ms = 10'000;
+  /// Retry-after hint attached to the Unavailable responses a draining
+  /// server sends — the restart window a client should ride out.
+  uint64_t drain_retry_after_ms = 200;
+  /// Accepted-connection cap; excess accepts are closed immediately.
+  size_t max_connections = 1024;
+  /// Serve the admin plane (kCreateTenant / kLoadRegistry /
+  /// kSetDynamicMode). Off by default: a production front door only
+  /// exposes the query surface, and provisioning arrives out of band.
+  bool allow_admin = false;
+};
+
+/// The framed-TCP front door over a TenantRegistry: one epoll event-loop
+/// thread owns every connection (non-blocking sockets, incremental frame
+/// reassembly via PeekFrameHeader); parsed requests are dispatched onto the
+/// registry's shared worker pool under the owning tenant's scheduling
+/// class, so wire concurrency inherits exactly the per-tenant DRR fairness
+/// and admission backpressure the in-process API already has. Completions
+/// travel back to the loop over an eventfd-signalled queue — workers never
+/// touch a socket, the loop never touches the enclave.
+///
+/// Robustness contract:
+///  - Deadlines: a request whose absolute deadline has passed is shed with
+///    kDeadlineExceeded BEFORE any enclave work — checked at dispatch and
+///    again on the worker, so queue time cannot convert an expired request
+///    into wasted decryption.
+///  - Malformed input: a frame with bad magic/version/checksum, an
+///    oversize declared length, or an unparseable body fails THAT
+///    connection closed. Other connections, and the server, are untouched.
+///  - Backpressure: per-tenant admission rejections (kUnavailable +
+///    retry-after from the AdmissionGate) pass through to the wire
+///    unchanged; a draining server answers new work the same way.
+///  - Drain (SIGTERM path): stop accepting, answer new requests
+///    kUnavailable + retry-after, finish in-flight work and flush its
+///    responses (up to drain_grace_ms, then shed), checkpoint every
+///    tenant's WAL via MaintainStorage, stop. A drained process restarts
+///    with an empty (not replay-sized) log.
+///  - Abort (kill -9 model): stop the loop and close sockets with no
+///    flush and no checkpoint; recovery is entirely the storage layer's
+///    crash-consistency argument. Tests sweep this with net_fault.
+///
+/// All socket I/O goes through net_fault wrappers, so crash sweeps can
+/// enumerate every wire I/O point deterministically.
+///
+/// Thread safety: Start/Drain/Abort/AdoptConnection/stats are safe from
+/// any thread (not from the loop itself). The registry must outlive the
+/// server.
+class ConcealerServer {
+ public:
+  ConcealerServer(TenantRegistry* registry, ServerOptions options = {});
+  /// Aborts if still running (a destructor cannot drain meaningfully).
+  ~ConcealerServer();
+
+  ConcealerServer(const ConcealerServer&) = delete;
+  ConcealerServer& operator=(const ConcealerServer&) = delete;
+
+  /// Binds, listens and spawns the event loop. InvalidArgument /
+  /// Internal on socket errors. Call at most once.
+  Status Start();
+
+  /// Bound port (after Start), host order.
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: see class comment. Returns the first tenant
+  /// checkpoint failure, OK otherwise (shedding past the grace window is
+  /// reported in stats, not as an error — the process still exits
+  /// cleanly). Idempotent; concurrent callers all block until done.
+  Status Drain();
+
+  /// Hard stop: the in-process stand-in for kill -9. Close everything,
+  /// flush nothing, checkpoint nothing. In-flight worker tasks are waited
+  /// out (they hold pointers into the server) but their responses are
+  /// discarded. Idempotent.
+  void Abort();
+
+  /// Registers an already-connected socket (e.g. one end of a
+  /// socketpair) as a client connection — how tests and the wire fault
+  /// harness talk to the loop without a real TCP handshake. The server
+  /// takes ownership of `fd` and sets it non-blocking. Works with or
+  /// without a listen socket.
+  Status AdoptConnection(int fd);
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t adopted = 0;
+    uint64_t closed = 0;           // All closes, any reason.
+    uint64_t malformed_closed = 0; // Fail-closed on garbage frames/bodies.
+    uint64_t idle_closed = 0;
+    uint64_t requests = 0;         // Parsed and dispatched (or answered).
+    uint64_t responses_ok = 0;
+    uint64_t responses_error = 0;
+    uint64_t shed_deadline = 0;    // Expired before enclave work.
+    uint64_t shed_draining = 0;    // Refused with Unavailable while draining.
+    uint64_t drain_shed_connections = 0;  // Cut off past the grace window.
+    uint64_t open_connections = 0;
+    uint64_t inflight = 0;         // Requests on workers right now.
+    bool draining = false;
+  };
+  Stats stats() const;
+
+  /// The health payload the kHealth endpoint serves, also available
+  /// in-process (server_main's signal logging uses it).
+  HealthInfo Health() const;
+
+ private:
+  struct Conn;
+  struct Completion {
+    uint64_t conn_id = 0;
+    Bytes frame;  // Fully framed response, ready to write.
+    bool ok = false;
+  };
+
+  void LoopBody();
+  void Wake();
+  /// Wake() body; caller must hold mu_ (guards wake_fd_ against close).
+  void WakeLocked();
+  void HandleListen();
+  void HandleConnEvent(uint64_t conn_id, uint32_t events);
+  /// Reads available bytes, reassembles frames, dispatches requests.
+  /// Returns false if the connection was closed.
+  bool ReadAndDispatch(Conn* conn);
+  /// Parses and routes one checksum-verified frame body. Returns false to
+  /// fail the connection closed.
+  bool DispatchFrame(Conn* conn, Slice body);
+  /// Enqueues an immediate (loop-thread) response for `request_id`.
+  void RespondNow(Conn* conn, uint64_t request_id, const Status& status,
+                  Slice payload);
+  /// Hands one request to the worker pool under the tenant's class.
+  void DispatchToWorker(Conn* conn, const ParsedRequest& request);
+  /// Worker-side execution of one request (no socket access).
+  void ExecuteRequest(uint64_t conn_id, NetHeader header, Bytes payload_copy);
+  StatusOr<Bytes> ExecuteByType(const NetHeader& header, Slice payload);
+  void PushCompletion(Completion completion);
+  void DrainCompletions();
+  bool FlushOut(Conn* conn);
+  void CloseConn(uint64_t conn_id, bool malformed);
+  void SweepIdle(uint64_t now_ms);
+  void UpdateConnEpoll(Conn* conn);
+  HealthInfo HealthLocked() const;
+  /// Waits until no worker task still references `this`.
+  void WaitPendingTasks();
+  /// Joins the loop and closes every fd. Shared by Drain/Abort.
+  void StopLoopAndCloseFds();
+
+  TenantRegistry* const registry_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::thread loop_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+
+  /// Loop-thread-owned connection table (conn id -> state). Other threads
+  /// never touch it; AdoptConnection hands fds over via adopt_queue_.
+  std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  mutable std::mutex mu_;  // completions_, adopt_queue_, stats_, stop cv.
+  std::vector<Completion> completions_;
+  std::vector<int> adopt_queue_;
+  Stats stats_;
+  std::condition_variable quiesce_cv_;  // Signalled when pending_ drops.
+  uint64_t pending_ = 0;                // Worker tasks referencing this.
+  bool drain_quiesced_ = false;         // Loop-certified drain completion.
+
+  std::mutex lifecycle_mu_;  // Serializes Start/Drain/Abort.
+  bool stopped_ = false;
+};
+
+}  // namespace net
+}  // namespace concealer
+
+#endif  // CONCEALER_NET_SERVER_H_

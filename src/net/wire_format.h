@@ -1,0 +1,185 @@
+#ifndef CONCEALER_NET_WIRE_FORMAT_H_
+#define CONCEALER_NET_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "concealer/types.h"
+
+namespace concealer {
+namespace net {
+
+/// The network front door's framed wire protocol. Every message — request
+/// or response — travels as one epoch_io record frame (magic + format
+/// version + FNV checksum + length; see concealer/epoch_io.h), so the
+/// transport reuses the exact corruption checks that already guard epoch
+/// blobs, WAL records and segment files. Inside the frame body:
+///
+///   request  = proto version (4) | msg type (4) | request id (8)
+///            | deadline, unix ms, 0 = none (8) | tenant id (lp)
+///            | type-specific payload
+///   response = proto version (4) | msg type = kResponse (4)
+///            | request id (8, echoed) | status code (4, wire mapping)
+///            | retry-after ms (8) | status message (lp) | payload (lp)
+///
+/// (lp = 4-byte-length-prefixed bytes.) Request ids are chosen by the
+/// client and echoed verbatim, so a client can match responses to calls
+/// over a pipelined connection. The deadline is absolute wall-clock time:
+/// the server sheds work whose deadline already passed BEFORE doing any
+/// enclave work for it (net/server.cc).
+///
+/// Parsing is fail-closed: any structural violation — unknown type,
+/// truncated field, enum out of range — is an error, and the server
+/// answers it by closing that one connection (never by dying).
+
+/// Protocol version inside the body, separate from the frame version so
+/// transport framing and message schema can evolve independently.
+inline constexpr uint32_t kNetProtoVersion = 1;
+
+enum class MsgType : uint32_t {
+  kOpenSession = 1,
+  kQuery = 2,
+  kQueryBatch = 3,
+  kIngestEpoch = 4,
+  kHealth = 5,
+  kCloseSession = 6,
+  // Admin plane (gated by ServerOptions::allow_admin; a deployment would
+  // front these with an authenticated operator channel — key material is
+  // provisioned out of band in the paper's model, and this is that band).
+  kCreateTenant = 7,
+  kLoadRegistry = 8,
+  kSetDynamicMode = 9,
+  kResponse = 100,
+};
+
+/// Common request header fields.
+struct NetHeader {
+  MsgType type = MsgType::kHealth;
+  uint64_t request_id = 0;
+  /// Absolute deadline, milliseconds since the unix epoch; 0 = none.
+  uint64_t deadline_unix_ms = 0;
+  std::string tenant_id;
+};
+
+/// A parsed inbound request: header + a view of the type-specific payload
+/// (valid only while the backing frame body lives).
+struct ParsedRequest {
+  NetHeader header;
+  Slice payload;
+};
+
+/// A parsed response.
+struct ParsedResponse {
+  uint64_t request_id = 0;
+  Status status;
+  Bytes payload;
+};
+
+/// Wall clock in milliseconds since the unix epoch — the deadline domain.
+uint64_t WallMs();
+
+// --- Whole messages --------------------------------------------------------
+
+/// Frames a request: header + payload inside one epoch_io record frame.
+Bytes EncodeRequest(const NetHeader& header, Slice payload);
+
+/// Frames a response for `request_id`: `status` (code + retry-after +
+/// message over the wire mapping) and the type-specific payload.
+Bytes EncodeResponse(uint64_t request_id, const Status& status,
+                     Slice payload);
+
+/// Parses a frame BODY (the checksum-verified output of ReadFramedRecord)
+/// as a request. InvalidArgument on responses or malformed headers.
+StatusOr<ParsedRequest> ParseRequest(Slice body);
+
+/// Parses a frame body as a response.
+StatusOr<ParsedResponse> ParseResponse(Slice body);
+
+// --- Type-specific payloads ------------------------------------------------
+
+struct OpenSessionReq {
+  std::string user_id;
+  Bytes proof;
+};
+Bytes EncodeOpenSessionReq(const OpenSessionReq& req);
+StatusOr<OpenSessionReq> ParseOpenSessionReq(Slice payload);
+
+struct QueryReq {
+  std::string token;
+  /// True = the server answers with ExecuteEncrypted's ciphertext (the
+  /// production surface); false = serialized plaintext QueryResult (the
+  /// bench/test surface, byte-comparable across runs).
+  bool encrypted = false;
+  Query query;
+};
+Bytes EncodeQueryReq(const QueryReq& req);
+StatusOr<QueryReq> ParseQueryReq(Slice payload);
+
+struct QueryBatchReq {
+  std::vector<QueryReq> queries;  // All within the header's tenant.
+};
+Bytes EncodeQueryBatchReq(const QueryBatchReq& req);
+StatusOr<QueryBatchReq> ParseQueryBatchReq(Slice payload);
+
+/// Per-query outcome of a batch: statuses stay in their slot.
+struct BatchItem {
+  Status status;
+  Bytes result;  // Serialized QueryResult when status is OK.
+};
+Bytes EncodeBatchItems(const std::vector<BatchItem>& items);
+StatusOr<std::vector<BatchItem>> ParseBatchItems(Slice payload);
+
+struct CloseSessionReq {
+  std::string token;
+};
+Bytes EncodeCloseSessionReq(const CloseSessionReq& req);
+StatusOr<CloseSessionReq> ParseCloseSessionReq(Slice payload);
+
+// kIngestEpoch's payload is SerializeEpoch(epoch) (epoch_io.h), unchanged.
+// kLoadRegistry's payload is the encrypted registry blob, opaque here.
+
+struct CreateTenantReq {
+  ConcealerConfig config;
+  Bytes sk;
+  uint32_t qos_weight = 1;
+  uint32_t qos_max_inflight = 0;
+};
+Bytes EncodeCreateTenantReq(const CreateTenantReq& req);
+StatusOr<CreateTenantReq> ParseCreateTenantReq(Slice payload);
+
+struct SetDynamicModeReq {
+  bool dynamic = false;
+};
+Bytes EncodeSetDynamicModeReq(const SetDynamicModeReq& req);
+StatusOr<SetDynamicModeReq> ParseSetDynamicModeReq(Slice payload);
+
+/// kHealth response payload: liveness + drain state + per-tenant recovery.
+struct HealthInfo {
+  bool draining = false;
+  uint64_t inflight = 0;
+  uint64_t open_connections = 0;
+  struct Tenant {
+    std::string tenant_id;
+    /// Wire-mapped recovery status (tenant_registry recovery_statuses()).
+    uint32_t recovery_code = 0;
+    std::string recovery_message;
+  };
+  std::vector<Tenant> tenants;
+};
+Bytes EncodeHealthInfo(const HealthInfo& info);
+StatusOr<HealthInfo> ParseHealthInfo(Slice payload);
+
+/// Query/ConcealerConfig serialization, shared by requests above. Public
+/// so tests can fuzz them directly.
+Bytes SerializeQuery(const Query& query);
+StatusOr<Query> DeserializeQuery(Slice data);
+Bytes SerializeConfig(const ConcealerConfig& config);
+StatusOr<ConcealerConfig> DeserializeConfig(Slice data);
+
+}  // namespace net
+}  // namespace concealer
+
+#endif  // CONCEALER_NET_WIRE_FORMAT_H_

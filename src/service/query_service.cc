@@ -112,6 +112,12 @@ void QueryService::set_dynamic_mode(bool on) {
   provider_->set_dynamic_mode(on);
 }
 
+Status QueryService::MaintainStorage() {
+  std::unique_lock<std::shared_mutex> lock(epoch_mu_);
+  return lifecycle_ != nullptr ? lifecycle_->MaintainStorage()
+                               : provider_->MaintainStorage();
+}
+
 StatusOr<std::string> QueryService::OpenSession(const std::string& user_id,
                                                 Slice proof) {
   return sessions_.Open(user_id, proof);

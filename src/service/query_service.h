@@ -135,6 +135,14 @@ class QueryService {
   /// rewrite rows, so the service runs them under the exclusive lock.
   void set_dynamic_mode(bool on);
 
+  /// Forces a storage-upkeep pass now: checkpoints the dynamic WAL into
+  /// the epoch metas and compacts mostly-dead segments, under the
+  /// exclusive epoch lock. Dynamic queries already do this opportunisti-
+  /// cally past growth thresholds; the network server calls it on
+  /// graceful drain so a SIGTERM'd process leaves a checkpointed log
+  /// behind rather than a replay-sized one.
+  Status MaintainStorage();
+
   // --- Sessions (Phase 2) ----------------------------------------------
 
   /// Authenticates once; returns a token valid for session_ttl_seconds.

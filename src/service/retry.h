@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <random>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -24,22 +26,68 @@ struct RetryOptions {
   uint64_t initial_backoff_ms = 2;
   /// Ceiling for any single wait, hinted or not.
   uint64_t max_backoff_ms = 1000;
+  /// Decorrelated jitter (on by default): each wait is drawn uniformly
+  /// from [floor, min(3 × previous wait, max_backoff_ms)], where floor is
+  /// max(hint, initial_backoff_ms). Synchronized clients rejected by the
+  /// same saturated gate would otherwise all come back on the same
+  /// deterministic schedule and collide again — the retrying herd
+  /// re-creates the overload it is backing off from. Disable for
+  /// byte-reproducible schedules (benches, deterministic tests).
+  bool jitter = true;
+  /// Overall retry budget in milliseconds, measured from the first
+  /// attempt: once sleeping again would exceed it, the loop gives up with
+  /// kDeadlineExceeded (mentioning the last rejection) instead of
+  /// sleeping. 0 = no cap, attempts alone bound the loop. This is the
+  /// client-side mirror of the server's deadline shedding: a caller with
+  /// an SLA stops paying for retries the moment they cannot pay off.
+  uint64_t max_elapsed_ms = 0;
   /// Injectable sleep (tests pass a fake and stay wall-time free);
   /// default really sleeps.
   std::function<void(uint64_t)> sleep_ms;
+  /// Injectable uniform [0,1) source for the jitter draw; default is a
+  /// thread-local PRNG. Tests inject a constant and get exact bounds.
+  std::function<double()> rand01;
+  /// Injectable monotonic clock (milliseconds) for the max_elapsed_ms
+  /// accounting; default is steady_clock. Paired with sleep_ms, tests
+  /// drive the whole schedule without touching wall time.
+  std::function<uint64_t()> clock_ms;
 };
 
+namespace retry_internal {
+
+inline double DefaultRand01() {
+  thread_local std::mt19937_64 rng{std::random_device{}()};
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+}
+
+inline uint64_t DefaultClockMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace retry_internal
+
 /// Runs `fn` (returning StatusOr<T>) until it succeeds, fails with a
-/// non-retryable code, or max_attempts is spent. Waits between attempts:
-/// the server's retry-after hint when one is attached (as a floor under
-/// the growing backoff — a saturated gate's estimate can lag a worsening
-/// queue), exponential backoff otherwise. Only Unavailable is retried:
-/// every other error means retrying cannot help (bad token, bad query,
-/// dropped tenant).
+/// non-retryable code, max_attempts is spent, or the max_elapsed_ms budget
+/// would be exceeded. Waits between attempts: the server's retry-after
+/// hint when one is attached acts as a floor (a saturated gate's estimate
+/// can lag a worsening queue) under decorrelated-jittered backoff —
+/// exponential backoff when jitter is disabled. Only Unavailable is
+/// retried: every other error means retrying cannot help (bad token, bad
+/// query, dropped tenant).
 template <typename Fn>
 auto RetryOnUnavailable(Fn&& fn, const RetryOptions& options = {})
     -> decltype(fn()) {
-  uint64_t backoff = std::max<uint64_t>(1, options.initial_backoff_ms);
+  const auto now_ms = [&options]() -> uint64_t {
+    return options.clock_ms ? options.clock_ms()
+                            : retry_internal::DefaultClockMs();
+  };
+  const uint64_t initial = std::max<uint64_t>(1, options.initial_backoff_ms);
+  const uint64_t start_ms = options.max_elapsed_ms > 0 ? now_ms() : 0;
+  uint64_t backoff = initial;    // Deterministic path: doubles per retry.
+  uint64_t prev_wait = initial;  // Jitter path: seeds the next draw's cap.
   for (int attempt = 1;; ++attempt) {
     auto result = fn();
     if (result.ok() || !result.status().IsUnavailable() ||
@@ -47,20 +95,42 @@ auto RetryOnUnavailable(Fn&& fn, const RetryOptions& options = {})
       return result;
     }
     const uint64_t hint = result.status().retry_after_ms();
-    const uint64_t wait =
-        std::min(options.max_backoff_ms, std::max(hint, backoff));
+    uint64_t wait;
+    if (options.jitter) {
+      const uint64_t floor_ms =
+          std::min(options.max_backoff_ms, std::max(hint, initial));
+      const uint64_t cap_ms = std::max(
+          floor_ms, std::min(options.max_backoff_ms, prev_wait * 3));
+      const double r =
+          options.rand01 ? options.rand01() : retry_internal::DefaultRand01();
+      wait = floor_ms + static_cast<uint64_t>(
+                            r * static_cast<double>(cap_ms - floor_ms));
+      prev_wait = std::max<uint64_t>(1, wait);
+    } else {
+      wait = std::min(options.max_backoff_ms, std::max(hint, backoff));
+      backoff = std::min(options.max_backoff_ms, backoff * 2);
+    }
+    if (options.max_elapsed_ms > 0) {
+      const uint64_t elapsed = now_ms() - start_ms;
+      if (elapsed + wait > options.max_elapsed_ms) {
+        return Status::DeadlineExceeded(
+            "retry budget (" + std::to_string(options.max_elapsed_ms) +
+            "ms) exhausted after " + std::to_string(elapsed) + "ms and " +
+            std::to_string(attempt) +
+            " attempts; last: " + result.status().ToString());
+      }
+    }
     if (options.sleep_ms) {
       options.sleep_ms(wait);
     } else {
       std::this_thread::sleep_for(std::chrono::milliseconds(wait));
     }
-    backoff = std::min(options.max_backoff_ms, backoff * 2);
   }
 }
 
 /// The common client loop: a tenant query through the registry front door,
-/// retried across backpressure. Used by examples and tests; a network
-/// client would wrap its RPC the same way.
+/// retried across backpressure. Used by examples and tests; the network
+/// client wraps its RPC the same way (net/client.h RetryQuery).
 inline StatusOr<QueryResult> RetryQuery(TenantRegistry& registry,
                                         const std::string& tenant_id,
                                         const std::string& token,

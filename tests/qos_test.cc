@@ -590,6 +590,109 @@ TEST_F(QosBackpressureTest, RetryingClientRidesOutBackpressure) {
   EXPECT_EQ(calls, 1);
 }
 
+// --- Retry policy: decorrelated jitter + overall budget --------------------
+// Wall-time free: rand01 / clock_ms / sleep_ms are all injected.
+
+TEST(QosRetryTest, JitterWaitsFollowDecorrelatedRecurrenceExactly) {
+  // With rand01 pinned to 0.5, every wait is the midpoint of
+  // [floor, min(3 × previous wait, max_backoff)] and the schedule is
+  // exactly predictable: floor = max(hint=0, initial=4) = 4, so
+  // caps go 12, 24, 42 and waits 8, 14, 23.
+  std::vector<uint64_t> waits;
+  RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_ms = 4;
+  retry.rand01 = [] { return 0.5; };
+  retry.sleep_ms = [&](uint64_t ms) { waits.push_back(ms); };
+  int calls = 0;
+  auto result = RetryOnUnavailable(
+      [&]() -> StatusOr<int> {
+        ++calls;
+        return Status::Unavailable("saturated");
+      },
+      retry);
+  EXPECT_TRUE(result.status().IsUnavailable());
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(waits, (std::vector<uint64_t>{8, 14, 23}));
+}
+
+TEST(QosRetryTest, JitterRespectsHintFloorAndBackoffCeiling) {
+  // The server hint floors every draw; max_backoff_ms ceilings it. With
+  // hint=50, initial=4, max_backoff=60: floor=50, first cap collapses to
+  // the floor (3×4=12 < 50) so the wait is exactly 50 even at r→1; the
+  // second cap is min(60, 150)=60, so the wait lives in [50, 60].
+  std::vector<uint64_t> waits;
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_ms = 4;
+  retry.max_backoff_ms = 60;
+  retry.rand01 = [] { return 0.999; };
+  retry.sleep_ms = [&](uint64_t ms) { waits.push_back(ms); };
+  auto result = RetryOnUnavailable(
+      [&]() -> StatusOr<int> {
+        return Status::Unavailable("saturated").WithRetryAfterMs(50);
+      },
+      retry);
+  EXPECT_TRUE(result.status().IsUnavailable());
+  ASSERT_EQ(waits.size(), 2u);
+  EXPECT_EQ(waits[0], 50u);
+  EXPECT_GE(waits[1], 50u);
+  EXPECT_LE(waits[1], 60u);
+}
+
+TEST(QosRetryTest, BudgetExhaustionReturnsDeadlineExceededWithoutSleeping) {
+  // Fake clock advanced only by the fake sleep: attempt 1 waits 40ms
+  // (elapsed 40), attempt 2 would wait 80ms, 40+80 > 100 → the loop gives
+  // up with kDeadlineExceeded BEFORE sleeping, not after.
+  uint64_t now = 0;
+  std::vector<uint64_t> waits;
+  RetryOptions retry;
+  retry.jitter = false;
+  retry.max_attempts = 100;
+  retry.initial_backoff_ms = 40;
+  retry.max_elapsed_ms = 100;
+  retry.clock_ms = [&] { return now; };
+  retry.sleep_ms = [&](uint64_t ms) {
+    waits.push_back(ms);
+    now += ms;
+  };
+  int calls = 0;
+  auto result = RetryOnUnavailable(
+      [&]() -> StatusOr<int> {
+        ++calls;
+        return Status::Unavailable("saturated");
+      },
+      retry);
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(waits, (std::vector<uint64_t>{40}));
+  EXPECT_NE(result.status().message().find("retry budget"), std::string::npos);
+}
+
+TEST(QosRetryTest, BudgetLeavesSuccessAndNonRetryableUntouched) {
+  uint64_t now = 0;
+  RetryOptions retry;
+  retry.jitter = false;
+  retry.max_elapsed_ms = 1000;
+  retry.clock_ms = [&] { return now; };
+  retry.sleep_ms = [&](uint64_t ms) { now += ms; };
+  int calls = 0;
+  auto ok = RetryOnUnavailable(
+      [&]() -> StatusOr<int> {
+        if (++calls < 3) return Status::Unavailable("warming");
+        return 7;
+      },
+      retry);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_EQ(calls, 3);
+
+  auto bad = RetryOnUnavailable(
+      [&]() -> StatusOr<int> { return Status::NotFound("gone"); }, retry);
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
 TEST_F(QosBackpressureTest, DropTenantMidBackpressureLeavesOthersIntact) {
   TenantRegistry registry(Options());
   TenantFixture acme = MakeTenant("acme", 0x74);
