@@ -18,17 +18,31 @@ std::string ToStringKey(Slice b) {
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 
-// One cell-id's real trapdoors E_k(cid‖1..count), in counter order — the
-// unit of work the EnclaveWorkCache memoizes. `plain` is the caller's
-// reusable plaintext assembly buffer.
-std::vector<Bytes> CellTrapdoors(const DetCipher& det, uint32_t cid,
-                                 uint32_t count, Bytes* plain) {
-  std::vector<Bytes> tds;
-  tds.reserve(count);
-  for (uint64_t ctr = 1; ctr <= count; ++ctr) {
-    IndexPlainTo(plain, cid, ctr);
-    tds.push_back(det.Encrypt(*plain));
+// Stages `count` Index(cid, ctr) plaintexts (ctr = first..first+count-1) in
+// scratch->plain_bufs / plain_views, ready for one DetCipher::EncryptBatch
+// call. The buffers are worker-slot scratch, so the per-trapdoor plaintext
+// assembly allocates only until the high-water mark is reached.
+void StageIndexPlains(QueryExecutor::UnitScratch* scratch, uint32_t cid,
+                      uint64_t first, size_t count) {
+  if (scratch->plain_bufs.size() < count) scratch->plain_bufs.resize(count);
+  scratch->plain_views.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    IndexPlainTo(&scratch->plain_bufs[i], cid, first + i);
+    scratch->plain_views[i] = Slice(scratch->plain_bufs[i]);
   }
+}
+
+// One cell-id's real trapdoors E_k(cid‖1..count), in counter order — the
+// unit of work the EnclaveWorkCache memoizes. Derived through the multi-lane
+// EncryptBatch pipeline; DET is deterministic, so the bytes are identical to
+// the serial per-counter loop.
+std::vector<Bytes> CellTrapdoors(const DetCipher& det, uint32_t cid,
+                                 uint32_t count,
+                                 QueryExecutor::UnitScratch* scratch) {
+  std::vector<Bytes> tds(count);
+  if (count == 0) return tds;
+  StageIndexPlains(scratch, cid, 1, count);
+  det.EncryptBatch(scratch->plain_views.data(), count, tds.data());
   return tds;
 }
 
@@ -142,7 +156,6 @@ StatusOr<std::vector<Bytes>> QueryExecutor::MakeTrapdoors(
   StatusOr<DetCipher> det =
       enclave_->EpochDetCipher(state.epoch_id(), unit.key_version);
   if (!det.ok()) return det.status();
-  Bytes* plain = &scratch->index_plain;
 
   const auto& c_tuple = state.layout().count_per_cell_id;
   const uint64_t fake_pool = state.num_fake_tuples();
@@ -162,23 +175,36 @@ StatusOr<std::vector<Bytes>> QueryExecutor::MakeTrapdoors(
         std::shared_ptr<const std::vector<Bytes>> cell =
             work_cache_->cell_trapdoors.GetOrCompute(
                 TrapdoorCacheKey(state.epoch_id(), unit.key_version, cid),
-                [&] { return CellTrapdoors(*det, cid, c_tuple[cid], plain); });
+                [&] {
+                  return CellTrapdoors(*det, cid, c_tuple[cid], scratch);
+                });
         trapdoors.insert(trapdoors.end(), cell->begin(), cell->end());
         continue;
       }
-      for (uint64_t ctr = 1; ctr <= c_tuple[cid]; ++ctr) {
-        IndexPlainTo(plain, cid, ctr);
-        trapdoors.push_back(det->Encrypt(*plain));
-      }
+      const uint32_t count = c_tuple[cid];
+      if (count == 0) continue;
+      const size_t base = trapdoors.size();
+      trapdoors.resize(base + count);
+      StageIndexPlains(scratch, cid, 1, count);
+      det->EncryptBatch(scratch->plain_views.data(), count, &trapdoors[base]);
     }
-    for (uint64_t j = 0; j < unit.fake_count; ++j) {
-      uint64_t fid = unit.fake_lo + j;
-      if (unit.cycle_fakes && fake_pool > 0) {
-        fid = (fid - 1) % fake_pool + 1;
+    // Fakes degrade gracefully when no pool is provisioned (fake_pool == 0:
+    // issue none), matching the per-item loop this batch replaced.
+    if (fake_pool > 0 && unit.fake_count > 0) {
+      const size_t count = unit.fake_count;
+      const size_t base = trapdoors.size();
+      trapdoors.resize(base + count);
+      if (scratch->plain_bufs.size() < count) {
+        scratch->plain_bufs.resize(count);
       }
-      if (fake_pool == 0) break;  // No fakes provisioned; degrade gracefully.
-      IndexPlainTo(plain, kFakeCellId, fid);
-      trapdoors.push_back(det->Encrypt(*plain));
+      scratch->plain_views.resize(count);
+      for (size_t j = 0; j < count; ++j) {
+        uint64_t fid = unit.fake_lo + j;
+        if (unit.cycle_fakes) fid = (fid - 1) % fake_pool + 1;
+        IndexPlainTo(&scratch->plain_bufs[j], kFakeCellId, fid);
+        scratch->plain_views[j] = Slice(scratch->plain_bufs[j]);
+      }
+      det->EncryptBatch(scratch->plain_views.data(), count, &trapdoors[base]);
     }
     *issued = trapdoors.size();
     return trapdoors;
@@ -303,10 +329,17 @@ StatusOr<FetchedUnit> QueryExecutor::FetchWithIds(
       enclave_->EpochDetCipher(state.epoch_id(), unit.key_version);
   if (!det.ok()) return det.status();
   for (uint32_t cid : unit.cell_ids) {
+    // The map entry must exist even for empty cells: Verify walks every
+    // entry and checks the expected count (0 included).
     auto& list = fetched.real_row_of_cid[cid];
-    for (uint64_t ctr = 1; ctr <= c_tuple[cid]; ++ctr) {
-      IndexPlainTo(&scratch->index_plain, cid, ctr);
-      auto it = by_index.find(ToStringKey(det->Encrypt(scratch->index_plain)));
+    const uint32_t count = c_tuple[cid];
+    if (count == 0) continue;
+    StageIndexPlains(scratch, cid, 1, count);
+    if (scratch->td_bufs.size() < count) scratch->td_bufs.resize(count);
+    det->EncryptBatch(scratch->plain_views.data(), count,
+                      scratch->td_bufs.data());
+    for (uint32_t ctr = 0; ctr < count; ++ctr) {
+      auto it = by_index.find(ToStringKey(scratch->td_bufs[ctr]));
       if (it != by_index.end()) list.push_back(it->second);
     }
   }

@@ -153,11 +153,16 @@ class QueryExecutor {
   struct UnitScratch {
     /// Index-column -> row position map built per fetched unit.
     std::unordered_map<std::string, size_t> by_index;
-    /// Trapdoor plaintext assembly buffer (IndexPlainTo).
-    Bytes index_plain;
     /// Batched-decrypt staging: ciphertext views and plaintext buffers.
     std::vector<Slice> ct_views;
     std::vector<Bytes> pt_bufs;
+    /// Batched trapdoor staging: plaintext buffers + views fed to
+    /// DetCipher::EncryptBatch, and ciphertext outputs for the alignment
+    /// re-derivation (the cell-major trapdoor paths write straight into
+    /// their result vectors instead).
+    std::vector<Bytes> plain_bufs;
+    std::vector<Slice> plain_views;
+    std::vector<Bytes> td_bufs;
   };
 
   /// Running aggregation state, merged across fetch units and epochs.

@@ -27,9 +27,12 @@ struct BPlusTree::SplitResult {
 
 namespace {
 
-// Index of the first key in `keys` that is >= `key`.
-size_t LowerBound(const std::vector<Bytes>& keys, Slice key) {
-  size_t lo = 0, hi = keys.size();
+// Index of the first key in `keys[from..)` that is >= `key`. BulkGet's
+// leaf merge resumes from its previous position instead of re-searching
+// the whole leaf.
+size_t LowerBoundFrom(const std::vector<Bytes>& keys, size_t from,
+                      Slice key) {
+  size_t lo = from, hi = keys.size();
   while (lo < hi) {
     const size_t mid = (lo + hi) / 2;
     if (Slice(keys[mid]).Compare(key) < 0) {
@@ -41,9 +44,18 @@ size_t LowerBound(const std::vector<Bytes>& keys, Slice key) {
   return lo;
 }
 
-// Child index to descend into for `key`: first separator > key goes left.
-size_t ChildIndex(const std::vector<Bytes>& keys, Slice key) {
-  size_t lo = 0, hi = keys.size();
+// Index of the first key in `keys` that is >= `key`.
+size_t LowerBound(const std::vector<Bytes>& keys, Slice key) {
+  return LowerBoundFrom(keys, 0, key);
+}
+
+// Child index to descend into for `key`, searching separators [from..):
+// first separator > key goes left. BulkGet's per-level cursors resume from
+// the previous probe's route (probes ascend, so routes never move left),
+// shrinking each binary search to the un-routed suffix of the node.
+size_t ChildIndexFrom(const std::vector<Bytes>& keys, size_t from,
+                      Slice key) {
+  size_t lo = from, hi = keys.size();
   while (lo < hi) {
     const size_t mid = (lo + hi) / 2;
     if (Slice(keys[mid]).Compare(key) <= 0) {
@@ -53,6 +65,11 @@ size_t ChildIndex(const std::vector<Bytes>& keys, Slice key) {
     }
   }
   return lo;
+}
+
+// Child index to descend into for `key`: first separator > key goes left.
+size_t ChildIndex(const std::vector<Bytes>& keys, Slice key) {
+  return ChildIndexFrom(keys, 0, key);
 }
 
 }  // namespace
@@ -135,15 +152,163 @@ Status BPlusTree::Insert(Slice key, uint64_t row_id) {
 }
 
 StatusOr<uint64_t> BPlusTree::Get(Slice key) const {
+  uint64_t row_id = 0;
+  if (Lookup(key, &row_id)) return row_id;
+  return Status::NotFound("index key not present");
+}
+
+bool BPlusTree::Lookup(Slice key, uint64_t* row_id) const {
   const Node* node = root_.get();
   while (!node->is_leaf) {
     node = node->children[ChildIndex(node->keys, key)].get();
   }
   const size_t pos = LowerBound(node->keys, key);
   if (pos < node->keys.size() && Slice(node->keys[pos]) == key) {
-    return node->values[pos];
+    *row_id = node->values[pos];
+    return true;
   }
-  return Status::NotFound("index key not present");
+  return false;
+}
+
+size_t BPlusTree::BulkGet(const Slice* sorted_keys, size_t n,
+                          uint64_t* row_ids) const {
+  if (n == 0) return 0;
+  size_t hits = 0;
+
+  if (root_->is_leaf) {
+    // Single-leaf tree: one ascending merge against the leaf's keys. The
+    // cursor resumes from its previous position (probes ascend), and a
+    // duplicate probe reuses the previous slot's answer since the cursor
+    // may already sit at the match.
+    const Node* leaf = root_.get();
+    size_t pos = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const Slice key = sorted_keys[i];
+      if (i > 0 && key == sorted_keys[i - 1]) {
+        if ((row_ids[i] = row_ids[i - 1]) != kNoMatch) ++hits;
+        continue;
+      }
+      row_ids[i] = kNoMatch;
+      pos = LowerBoundFrom(leaf->keys, pos, key);
+      if (pos < leaf->keys.size() && Slice(leaf->keys[pos]) == key) {
+        row_ids[i] = leaf->values[pos];
+        ++hits;
+      }
+    }
+    return hits;
+  }
+
+  // Batched descent: route ALL probes through one level before touching
+  // the next, instead of chasing each probe root-to-leaf alone. Exact-
+  // match routing lands every probe in the one leaf that could hold it
+  // (the same leaf Lookup finds — lazy deletion removes keys, never
+  // separators), so a leaf emptied by deletion simply answers absent.
+  //
+  // Each level is processed in lockstep lanes: kLanes binary searches
+  // advance together, each step prefetching the key blob its NEXT compare
+  // will read. A lone search is a chain of serialized cold loads (keys are
+  // heap blobs); kLanes in flight overlap their misses. Routed children
+  // are prefetched the moment they are chosen and the whole rest of the
+  // level is processed before they are read, so the next level's node
+  // fetches — the cold leaf loads that dominate a per-key descent — also
+  // fly in parallel. Neighboring probes routed to the same node just run
+  // the same (cache-hot) search twice; lanes stay independent, which also
+  // makes duplicate probes a non-event. This access-overlap contract is
+  // exactly what a future disk-paged node layer will turn into batched
+  // page I/O.
+  constexpr size_t kLanes = 16;
+  std::vector<const Node*> cur(n, root_.get());
+  size_t lo[kLanes], hi[kLanes];
+  // Warm the level just routed to before it is searched: the key arrays
+  // first (their node structs were prefetched at routing time, up to a
+  // whole level ago), then the middle key blob each search's first compare
+  // will read; for the leaf level also the payload array read on a hit.
+  const auto warm_routed_level = [&](bool is_leaf_level) {
+    for (size_t i = 0; i < n; ++i) {
+      __builtin_prefetch(cur[i]->keys.data());
+      if (is_leaf_level) __builtin_prefetch(cur[i]->values.data());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const std::vector<Bytes>& keys = cur[i]->keys;
+      if (!keys.empty()) __builtin_prefetch(keys[keys.size() / 2].data());
+    }
+  };
+  for (int level = 1; level <= height_; ++level) {
+    const bool leaf_level = level == height_;
+    if (level < height_ - 1) {
+      // Upper levels cover the whole batch with a handful of nodes that
+      // stay cache-hot; lockstep buys nothing there. Probes are sorted, so
+      // consecutive probes routed through the same node take
+      // non-decreasing child slots — each search resumes from the
+      // previous route (ChildIndexFrom), scanning the node's separator
+      // suffix once per run instead of once per probe.
+      const Node* run_node = nullptr;
+      size_t run_ci = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const Node* nd = cur[i];
+        const size_t from = nd == run_node ? run_ci : 0;
+        run_ci = ChildIndexFrom(nd->keys, from, sorted_keys[i]);
+        run_node = nd;
+        const Node* child = nd->children[run_ci].get();
+        __builtin_prefetch(child);
+        cur[i] = child;
+      }
+      warm_routed_level(level + 1 == height_);
+      continue;
+    }
+    for (size_t base = 0; base < n; base += kLanes) {
+      const size_t m = std::min(kLanes, n - base);
+      for (size_t j = 0; j < m; ++j) {
+        const std::vector<Bytes>& keys = cur[base + j]->keys;
+        lo[j] = 0;
+        hi[j] = keys.size();
+        if (hi[j] > 0) __builtin_prefetch(keys[hi[j] / 2].data());
+      }
+      bool active = true;
+      while (active) {
+        active = false;
+        for (size_t j = 0; j < m; ++j) {
+          if (lo[j] >= hi[j]) continue;
+          const std::vector<Bytes>& keys = cur[base + j]->keys;
+          const size_t mid = (lo[j] + hi[j]) / 2;
+          const int cmp = Slice(keys[mid]).Compare(sorted_keys[base + j]);
+          // Internal separators route with upper-bound semantics (first
+          // separator > key goes left, as ChildIndex); leaf keys match
+          // with lower-bound semantics.
+          if (leaf_level ? cmp < 0 : cmp <= 0) {
+            lo[j] = mid + 1;
+          } else {
+            hi[j] = mid;
+          }
+          if (lo[j] < hi[j]) {
+            __builtin_prefetch(keys[(lo[j] + hi[j]) / 2].data());
+            active = true;
+          }
+        }
+      }
+      if (leaf_level) {
+        for (size_t j = 0; j < m; ++j) {
+          const size_t i = base + j;
+          const Node* leaf = cur[i];
+          row_ids[i] = kNoMatch;
+          if (lo[j] < leaf->keys.size() &&
+              Slice(leaf->keys[lo[j]]) == sorted_keys[i]) {
+            row_ids[i] = leaf->values[lo[j]];
+            ++hits;
+          }
+        }
+      } else {
+        for (size_t j = 0; j < m; ++j) {
+          const Node* child = cur[base + j]->children[lo[j]].get();
+          __builtin_prefetch(child);
+          cur[base + j] = child;
+        }
+      }
+    }
+    if (leaf_level) break;
+    warm_routed_level(level + 1 == height_);
+  }
+  return hits;
 }
 
 bool BPlusTree::Contains(Slice key) const { return Get(key).ok(); }

@@ -44,6 +44,36 @@ class BPlusTree {
   /// Exact-match lookup. Returns kNotFound if absent.
   StatusOr<uint64_t> Get(Slice key) const;
 
+  /// Non-allocating exact-match lookup: true + `*row_id` on a hit, false on
+  /// a miss. The fetch hot path uses this (and BulkGet) instead of Get so a
+  /// missing probe — every fake trapdoor beyond the stored range — costs no
+  /// Status construction.
+  bool Lookup(Slice key, uint64_t* row_id) const;
+
+  /// Row-id sentinel BulkGet stores for probes that match nothing (row ids
+  /// are dense from 0, so all-ones can never collide).
+  static constexpr uint64_t kNoMatch = ~uint64_t{0};
+
+  /// Bulk exact-match lookup over an ascending-sorted probe set (duplicate
+  /// probes allowed; a caller that needs its own output order carries a
+  /// permutation array — see EncryptedTable::FetchRefs). For each i,
+  /// row_ids[i] receives the row id of sorted_keys[i], or kNoMatch.
+  /// Returns the number of hits.
+  ///
+  /// The descent is batched level by level (Palm-style): every probe is
+  /// routed through one level before any probe touches the next, so the
+  /// cache misses of a level's node and key-blob reads overlap across the
+  /// whole batch instead of serializing per probe. Hot upper levels route
+  /// with a run-sharing cursor (sorted probes revisit the same node with
+  /// non-decreasing child indices); the cold bottom two levels run
+  /// lockstep lanes — a handful of binary searches advance together, each
+  /// step prefetching the key blob its next compare will read. Lazy
+  /// deletion removes keys but never separators, so exact-match routing
+  /// lands each probe in exactly the leaf Lookup would reach; a leaf
+  /// emptied by deletes simply answers kNoMatch. The fetch path's sorted
+  /// trapdoor batches are the intended workload shape.
+  size_t BulkGet(const Slice* sorted_keys, size_t n, uint64_t* row_ids) const;
+
   /// Removes a key (lazy deletion: the entry leaves its leaf but no
   /// rebalancing occurs; nodes may drop below the usual occupancy floor).
   /// Deletes happen only on the rare dynamic-insertion re-encryption path,

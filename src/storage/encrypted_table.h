@@ -16,6 +16,14 @@
 
 namespace concealer {
 
+/// Process-wide switch between FetchRefs' bulk multi-probe index path (the
+/// default) and the legacy per-key descent loop. The bench flips it to
+/// measure the bulk speedup in one process (bench_exp16_index);
+/// CONCEALER_BULK_INDEX=0 in the environment is the emergency rollback.
+/// Refs, output order and stats are identical on either path.
+void SetBulkIndexProbing(bool enabled);
+bool BulkIndexProbing();
+
 /// Cumulative access statistics observable by the (untrusted) service
 /// provider — exactly the adversary's view the paper reasons about: which
 /// index keys were probed and how many rows came back. Benches and security

@@ -162,6 +162,146 @@ TEST(BPlusTreeTest, VariableLengthKeys) {
   }
 }
 
+// --- BulkGet ---------------------------------------------------------------
+
+// Differential check: runs BulkGet over `probes` (must be sorted ascending,
+// duplicates allowed) and compares every slot against the per-key Get path.
+// Returns the hit count (duplicates of a present key each count).
+size_t DifferentialBulkGet(const BPlusTree& tree,
+                           const std::vector<Bytes>& probes) {
+  std::vector<Slice> views(probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) views[i] = Slice(probes[i]);
+  std::vector<uint64_t> ids(probes.size(), 0xdead);
+  const size_t hits = tree.BulkGet(views.data(), views.size(), ids.data());
+  size_t expect_hits = 0;
+  for (size_t i = 0; i < probes.size(); ++i) {
+    auto v = tree.Get(probes[i]);
+    if (v.ok()) {
+      ++expect_hits;
+      EXPECT_EQ(ids[i], *v) << "probe " << i;
+    } else {
+      EXPECT_EQ(ids[i], BPlusTree::kNoMatch) << "probe " << i;
+    }
+  }
+  EXPECT_EQ(hits, expect_hits);
+  return hits;
+}
+
+TEST(BPlusTreeBulkGetTest, EmptyTreeAndEmptyProbeSet) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.BulkGet(nullptr, 0, nullptr), 0u);
+  std::vector<Bytes> probes{OrderedKey(1), OrderedKey(2)};
+  EXPECT_EQ(DifferentialBulkGet(tree, probes), 0u);
+}
+
+TEST(BPlusTreeBulkGetTest, SingleLeaf) {
+  BPlusTree tree;
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tree.Insert(OrderedKey(i * 2), i).ok());
+  }
+  ASSERT_EQ(tree.height(), 1);
+  std::vector<Bytes> probes;  // Every even hits, every odd misses.
+  for (uint64_t v = 0; v < 22; ++v) probes.push_back(OrderedKey(v));
+  EXPECT_EQ(DifferentialBulkGet(tree, probes), 10u);
+}
+
+TEST(BPlusTreeBulkGetTest, DuplicateProbes) {
+  BPlusTree tree;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree.Insert(OrderedKey(i * 2), i).ok());
+  }
+  std::vector<Bytes> probes;
+  for (int rep = 0; rep < 3; ++rep) {
+    probes.push_back(OrderedKey(100));   // Present.
+    probes.push_back(OrderedKey(1001));  // Absent.
+  }
+  std::sort(probes.begin(), probes.end());
+  EXPECT_EQ(DifferentialBulkGet(tree, probes), 3u);
+}
+
+TEST(BPlusTreeBulkGetTest, LeafBoundaryAndGapProbes) {
+  // Every stored key probed in one batch crosses every leaf boundary of the
+  // tree; the interleaved odd keys exercise the miss path in every gap.
+  BPlusTree tree;
+  const uint64_t kN = 10000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree.Insert(OrderedKey(i * 2), i).ok());
+  }
+  ASSERT_GT(tree.height(), 1);
+  std::vector<Bytes> probes;
+  for (uint64_t v = 0; v < 2 * kN + 2; ++v) probes.push_back(OrderedKey(v));
+  EXPECT_EQ(DifferentialBulkGet(tree, probes), kN);
+}
+
+TEST(BPlusTreeBulkGetTest, ProbesSpanLazilyEmptiedLeaves) {
+  // Lazy deletion leaves empty leaves in the chain; a probe batch walking
+  // across the deleted range must skip them (regression for the chain-walk
+  // re-targeting step).
+  BPlusTree tree;
+  const uint64_t kN = 5000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree.Insert(OrderedKey(i), i).ok());
+  }
+  ASSERT_GT(tree.height(), 1);
+  // Empty many consecutive leaves in the middle.
+  for (uint64_t i = 1000; i < 2000; ++i) {
+    ASSERT_TRUE(tree.Delete(OrderedKey(i)).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  std::vector<Bytes> probes;
+  for (uint64_t i = 900; i < 2100; ++i) probes.push_back(OrderedKey(i));
+  EXPECT_EQ(DifferentialBulkGet(tree, probes), 200u);
+  probes.clear();
+  for (uint64_t i = 0; i < kN; i += 7) probes.push_back(OrderedKey(i));
+  DifferentialBulkGet(tree, probes);
+}
+
+// Randomized differential property: random tree (with deletions), random
+// probe sets with duplicates, absent keys and boundary values — BulkGet
+// must answer exactly as per-key Get on every slot.
+class BPlusTreeBulkGetPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeBulkGetPropertyTest, MatchesPerKeyGet) {
+  Rng rng(GetParam());
+  BPlusTree tree;
+  std::vector<uint64_t> inserted;
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t k = rng.Uniform(30000);
+    if (tree.Insert(OrderedKey(k), k).ok()) inserted.push_back(k);
+  }
+  // Lazy-delete a random subset so some probes cross emptied entries.
+  for (size_t i = 0; i < inserted.size(); i += 3) {
+    ASSERT_TRUE(tree.Delete(OrderedKey(inserted[i])).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (const size_t probe_count : {1u, 16u, 256u, 1024u}) {
+    std::vector<Bytes> probes;
+    probes.reserve(probe_count);
+    for (size_t i = 0; i < probe_count; ++i) {
+      // Mix of likely-present, certainly-absent, and duplicated probes.
+      const uint64_t pick = rng.Uniform(10);
+      uint64_t v;
+      if (pick < 6 && !inserted.empty()) {
+        v = inserted[rng.Uniform(inserted.size())];
+      } else if (pick < 9) {
+        v = rng.Uniform(40000);  // May or may not be present.
+      } else if (!probes.empty()) {
+        probes.push_back(probes[rng.Uniform(probes.size())]);  // Duplicate.
+        continue;
+      } else {
+        v = 0;
+      }
+      probes.push_back(OrderedKey(v));
+    }
+    std::sort(probes.begin(), probes.end());
+    DifferentialBulkGet(tree, probes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeBulkGetPropertyTest,
+                         ::testing::Values(2, 11, 47, 4321, 55555));
+
 // --- Column semantics -----------------------------------------------------
 
 TEST(ColumnTest, OwnedAndBorrowedExposeSameBytes) {
@@ -361,6 +501,48 @@ TEST_P(EncryptedTableTest, FetchRefsBorrowsRowsAndCountsBytes) {
   // The copying wrappers ride FetchRefs, so they count bytes too.
   (void)table->FetchByIndexKeys({Key(1)});
   EXPECT_EQ(table->stats().bytes_fetched, 4u * 11u);
+}
+
+TEST_P(EncryptedTableTest, BulkAndPerKeyFetchRefsAreIdentical) {
+  // The bulk index path must be observationally identical to the per-key
+  // loop: same refs, same order, same stats — on both engines. The probe
+  // set is shuffled (FetchRefs sorts internally via a permutation) and
+  // mixes hits, misses and duplicates.
+  auto table = MakeTable(2, 1);
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        table->Insert(Row{{Bytes{uint8_t(i), uint8_t(i >> 8)}, Key(i * 3)}})
+            .ok());
+  }
+  Rng rng(77);
+  std::vector<Bytes> keys;
+  for (int i = 0; i < 300; ++i) keys.push_back(Key(rng.Uniform(2000)));
+  keys.push_back(keys[0]);  // Guaranteed duplicate probe.
+  rng.Shuffle(&keys);
+
+  table->ResetStats();
+  SetBulkIndexProbing(true);
+  std::vector<RowRef> bulk;
+  table->FetchRefs(keys, &bulk);
+  const TableStats bulk_stats = table->stats();
+
+  table->ResetStats();
+  SetBulkIndexProbing(false);
+  std::vector<RowRef> per_key;
+  table->FetchRefs(keys, &per_key);
+  const TableStats per_key_stats = table->stats();
+  SetBulkIndexProbing(true);  // Restore the process-wide default.
+
+  ASSERT_EQ(bulk.size(), per_key.size());
+  ASSERT_GT(bulk.size(), 0u);
+  for (size_t i = 0; i < bulk.size(); ++i) {
+    EXPECT_EQ(bulk[i].row_id, per_key[i].row_id) << i;
+    EXPECT_EQ(bulk[i].row, per_key[i].row) << i;  // Same borrowed pointer.
+  }
+  EXPECT_EQ(bulk_stats.index_probes, per_key_stats.index_probes);
+  EXPECT_EQ(bulk_stats.index_hits, per_key_stats.index_hits);
+  EXPECT_EQ(bulk_stats.rows_fetched, per_key_stats.rows_fetched);
+  EXPECT_EQ(bulk_stats.bytes_fetched, per_key_stats.bytes_fetched);
 }
 
 TEST_P(EncryptedTableTest, RowRefStaleAfterMutation) {
