@@ -57,32 +57,6 @@ double MedianWarmSeconds(ServiceProvider* sp, const std::vector<Query>& qs,
   return total / qs.size();
 }
 
-// Evicts every file under dir (one level of subdirectories) from the OS
-// page cache: fsync first so dirty pages become droppable, then
-// POSIX_FADV_DONTNEED. Without this the post-restart "cold" pass reads
-// the segments straight out of the cache the ingest just populated.
-void DropPageCache(const std::string& dir) {
-  DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return;
-  while (struct dirent* entry = ::readdir(d)) {
-    const std::string name = entry->d_name;
-    if (name == "." || name == "..") continue;
-    const std::string path = dir + "/" + name;
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0) continue;
-    struct stat st;
-    if (::fstat(fd, &st) == 0 && S_ISDIR(st.st_mode)) {
-      ::close(fd);
-      DropPageCache(path);
-      continue;
-    }
-    ::fsync(fd);
-    ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
-    ::close(fd);
-  }
-  ::closedir(d);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,7 +161,7 @@ int main(int argc, char** argv) {
   // --- Restart again with the page cache dropped (true cold machine) ------
   double recovery_dropped = 0, cold_dropped_first_pass = 0;
   {
-    DropPageCache(dir);
+    bench::DropPageCache(dir);
     t.Reset();
     auto sp = ServiceProvider::Open(dataset.config, dp.shared_secret(),
                                     mmap_options);

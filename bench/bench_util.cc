@@ -1,5 +1,10 @@
 #include "bench_util.h"
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -308,6 +313,36 @@ void WriteFileOrDie(const std::string& path, const std::string& content) {
     std::abort();
   }
   std::printf("wrote JSON results to %s\n", path.c_str());
+}
+
+void DropPageCache(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) continue;
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && S_ISDIR(st.st_mode)) {
+      ::close(fd);
+      DropPageCache(path);
+      continue;
+    }
+    ::fsync(fd);
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+    ::close(fd);
+  }
+  ::closedir(d);
+}
+
+void DropFileCache(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
 }
 
 }  // namespace bench

@@ -76,6 +76,19 @@ std::vector<Query> RandomPointQueries(const WifiDataset& dataset, int count,
 void PrintHeader(const std::string& title, const std::string& paper_ref);
 void PrintFooter();
 
+/// Evicts every file under `dir` (recursing into subdirectories) from the
+/// OS page cache: fsync first so dirty pages become droppable, then
+/// posix_fadvise(POSIX_FADV_DONTNEED). Cold-pass benches (exp13 restart,
+/// exp16 paged index) call this so their "cold" reads actually hit disk
+/// instead of the cache the preceding write pass populated. Best-effort:
+/// unreadable entries are skipped silently.
+void DropPageCache(const std::string& dir);
+
+/// Single-file variant of DropPageCache — the exp16 paged leg drops just
+/// the index-nodes file so its cold-pass timing isolates index I/O from
+/// segment faults.
+void DropFileCache(const std::string& path);
+
 /// Minimal JSON emitter for the bench artifacts CI uploads. Structural
 /// correctness is on the caller (balanced Begin/End, keys only inside
 /// objects); values are escaped. Usage:

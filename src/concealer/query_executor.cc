@@ -289,7 +289,7 @@ StatusOr<FetchedUnit> QueryExecutor::FetchWithIds(
   // Zero-copy fetch: borrow the matched rows from the store instead of
   // copying each one (see FetchedUnit's borrow rules).
   std::vector<RowRef> refs;
-  table_->FetchRefs(*trapdoors, &refs);
+  CONCEALER_RETURN_IF_ERROR(table_->FetchRefs(*trapdoors, &refs));
   fetched.rows.reserve(refs.size());
   if (row_ids != nullptr) row_ids->reserve(refs.size());
   for (const RowRef& ref : refs) {

@@ -323,18 +323,33 @@ Status ServiceProvider::IngestEpoch(const EncryptedEpoch& epoch) {
     // window to real I/O failures (a torn meta can never appear).
     CONCEALER_RETURN_IF_ERROR(WriteEpochMetaFile(
         EpochMetaPath(storage_options_.dir, epoch.epoch_id), meta));
-    // Sidecar dumps rewrite the WHOLE index, so re-dumping on every ingest
-    // would cost O(K^2) cumulative bytes over a provider's lifetime.
-    // Persist geometrically (first epoch, then each time the table has
-    // doubled): total sidecar I/O stays O(total rows), and a restart whose
-    // stamp is stale simply rebuilds the index from the recovered rows —
-    // the same O(n) insert work the sidecar load would do.
-    const uint64_t rows_now = table_.num_rows();
-    if (sidecar_rows_ == 0 || rows_now >= 2 * sidecar_rows_) {
+  }
+  // Index persistence. Dumps rewrite the WHOLE index, so re-dumping on
+  // every ingest would cost O(K^2) cumulative bytes over a provider's
+  // lifetime. Persist geometrically (first epoch, then each time the table
+  // has doubled): total index I/O stays O(total rows), and a restart whose
+  // stamp is stale simply rebuilds the index from the recovered rows — the
+  // same O(n) insert work the sidecar load would do. Two artifacts share
+  // the schedule:
+  //  - the node file (any engine with a NodeStore, including ephemeral
+  //    mmap dirs): after PersistPagedIndex the tree serves leaves through
+  //    the bounded page cache instead of resident vectors, and a restart
+  //    attaches in two small reads;
+  //  - the sidecar (persistent engines only): the fallback when the node
+  //    file is stale or torn.
+  const uint64_t rows_now = table_.num_rows();
+  if (rows_now > 0 && (sidecar_rows_ == 0 || rows_now >= 2 * sidecar_rows_)) {
+    bool persisted = false;
+    if (table_.engine()->node_store() != nullptr) {
+      CONCEALER_RETURN_IF_ERROR(table_.PersistPagedIndex());
+      persisted = true;
+    }
+    if (persistent_) {
       CONCEALER_RETURN_IF_ERROR(
           table_.PersistIndex(IndexSidecarPath(storage_options_.dir)));
-      sidecar_rows_ = rows_now;
+      persisted = true;
     }
+    if (persisted) sidecar_rows_ = rows_now;
   }
   return Status::OK();
 }

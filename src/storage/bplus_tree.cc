@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/coding.h"
+#include "storage/node_store.h"
+
 namespace concealer {
 
 struct BPlusTree::Node {
@@ -14,6 +17,11 @@ struct BPlusTree::Node {
   std::vector<std::unique_ptr<Node>> children;
   // Leaf chain for ordered scans.
   Node* next_leaf = nullptr;
+  // Paged-leaf stub state: when `paged` is true the leaf's keys/values
+  // live in the tree's NodeStore under `page_id` and the vectors above are
+  // empty. Internal nodes are never paged.
+  bool paged = false;
+  uint32_t page_id = 0;
 
   explicit Node(bool leaf) : is_leaf(leaf) {}
 };
@@ -72,6 +80,45 @@ size_t ChildIndex(const std::vector<Bytes>& keys, Slice key) {
   return ChildIndexFrom(keys, 0, key);
 }
 
+// LowerBoundFrom over either key container (a resident leaf's
+// vector<Bytes> or a pinned page's vector<Slice>).
+template <typename KeyVec>
+size_t LowerBoundFromT(const KeyVec& keys, size_t from, Slice key) {
+  size_t lo = from, hi = keys.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (Slice(keys[mid]).Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Resolves the sorted probes [lo, hi) — all routed to the same leaf —
+// against that leaf's keys/values with one resumed ascending merge.
+// Identical duplicate handling and answers as BulkGet's leaf stage.
+template <typename KeyVec>
+void MergeLeafGroup(const Slice* sorted_keys, uint64_t* row_ids, size_t lo,
+                    size_t hi, const KeyVec& keys,
+                    const std::vector<uint64_t>& values, size_t* hits) {
+  size_t pos = 0;
+  for (size_t i = lo; i < hi; ++i) {
+    const Slice key = sorted_keys[i];
+    if (i > lo && key == sorted_keys[i - 1]) {
+      if ((row_ids[i] = row_ids[i - 1]) != BPlusTree::kNoMatch) ++*hits;
+      continue;
+    }
+    row_ids[i] = BPlusTree::kNoMatch;
+    pos = LowerBoundFromT(keys, pos, key);
+    if (pos < keys.size() && Slice(keys[pos]) == key) {
+      row_ids[i] = values[pos];
+      ++*hits;
+    }
+  }
+}
+
 }  // namespace
 
 BPlusTree::BPlusTree() : root_(std::make_unique<Node>(/*leaf=*/true)) {}
@@ -83,6 +130,10 @@ BPlusTree::SplitResult BPlusTree::InsertRecursive(Node* node, Slice key,
                                                   uint64_t row_id,
                                                   Status* st) {
   if (node->is_leaf) {
+    if (node->paged) {
+      *st = MaterializeLeaf(node);
+      if (!st->ok()) return {};
+    }
     const size_t pos = LowerBound(node->keys, key);
     if (pos < node->keys.size() && Slice(node->keys[pos]) == key) {
       *st = Status::InvalidArgument("duplicate index key");
@@ -158,6 +209,15 @@ StatusOr<uint64_t> BPlusTree::Get(Slice key) const {
 }
 
 bool BPlusTree::Lookup(Slice key, uint64_t* row_id) const {
+  if (store_ != nullptr) {
+    // Paged wrapper: an I/O failure has no `false` that means "error" in
+    // this signature, so it reports as a miss (asserting in debug). The
+    // production fetch path uses Find/BulkFind, which fail closed.
+    bool found = false;
+    const Status st = Find(key, row_id, &found);
+    assert(st.ok() && "Lookup on a paged tree hit an I/O error");
+    return st.ok() && found;
+  }
   const Node* node = root_.get();
   while (!node->is_leaf) {
     node = node->children[ChildIndex(node->keys, key)].get();
@@ -170,8 +230,42 @@ bool BPlusTree::Lookup(Slice key, uint64_t* row_id) const {
   return false;
 }
 
+Status BPlusTree::Find(Slice key, uint64_t* row_id, bool* found) const {
+  *found = false;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children[ChildIndex(node->keys, key)].get();
+  }
+  if (node->paged) {
+    StatusOr<NodeStore::PagePin> pin = store_->GetPage(node->page_id);
+    if (!pin.ok()) return pin.status();
+    const NodeStore::Page& page = **pin;
+    const size_t pos = LowerBoundFromT(page.keys, 0, key);
+    if (pos < page.keys.size() && page.keys[pos] == key) {
+      *row_id = page.values[pos];
+      *found = true;
+    }
+    return Status::OK();
+  }
+  const size_t pos = LowerBound(node->keys, key);
+  if (pos < node->keys.size() && Slice(node->keys[pos]) == key) {
+    *row_id = node->values[pos];
+    *found = true;
+  }
+  return Status::OK();
+}
+
 size_t BPlusTree::BulkGet(const Slice* sorted_keys, size_t n,
                           uint64_t* row_ids) const {
+  if (store_ != nullptr) {
+    // Paged wrapper: same miss-on-error caveat as Lookup; BulkFind is the
+    // fail-closed surface.
+    size_t hits = 0;
+    const Status st = BulkFind(sorted_keys, n, row_ids, &hits);
+    assert(st.ok() && "BulkGet on a paged tree hit an I/O error");
+    (void)st;
+    return hits;
+  }
   if (n == 0) return 0;
   size_t hits = 0;
 
@@ -311,12 +405,88 @@ size_t BPlusTree::BulkGet(const Slice* sorted_keys, size_t n,
   return hits;
 }
 
+Status BPlusTree::BulkFind(const Slice* sorted_keys, size_t n,
+                           uint64_t* row_ids, size_t* hits) const {
+  *hits = 0;
+  if (store_ == nullptr) {
+    *hits = BulkGet(sorted_keys, n, row_ids);
+    return Status::OK();
+  }
+  if (n == 0) return Status::OK();
+
+  // Route every probe level by level through the resident internal
+  // skeleton (run-sharing cursors, as BulkGet's hot upper levels: sorted
+  // probes revisiting a node take non-decreasing child slots). After the
+  // last internal level, the batch's complete set of leaf pages is known
+  // — that is the I/O batching point the level-at-a-time descent was
+  // built for: one Prefetch covers every cold page before any probe pins
+  // one, so the disk reads overlap instead of serializing per probe.
+  std::vector<const Node*> cur(n, root_.get());
+  for (int level = 1; level < height_; ++level) {
+    const Node* run_node = nullptr;
+    size_t run_ci = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const Node* nd = cur[i];
+      const size_t from = nd == run_node ? run_ci : 0;
+      run_ci = ChildIndexFrom(nd->keys, from, sorted_keys[i]);
+      run_node = nd;
+      cur[i] = nd->children[run_ci].get();
+    }
+  }
+
+  // Distinct paged leaves, in probe order (equal probes share a leaf and
+  // consecutive probes share runs, so adjacent-dedupe is exact).
+  std::vector<uint32_t> want;
+  const Node* prev = nullptr;
+  for (size_t i = 0; i < n; ++i) {
+    if (cur[i] != prev && cur[i]->paged) want.push_back(cur[i]->page_id);
+    prev = cur[i];
+  }
+  if (!want.empty()) store_->Prefetch(want.data(), want.size());
+
+  // Resolve probe runs leaf by leaf. A resident leaf (re-materialized by
+  // an insert/delete since the last persist) merges against its own
+  // vectors; a paged leaf pins its page. Answers are identical to the
+  // resident tree's BulkGet either way.
+  size_t i = 0;
+  while (i < n) {
+    const Node* leaf = cur[i];
+    size_t end = i + 1;
+    while (end < n && cur[end] == leaf) ++end;
+    if (leaf->paged) {
+      StatusOr<NodeStore::PagePin> pin = store_->GetPage(leaf->page_id);
+      if (!pin.ok()) return pin.status();
+      MergeLeafGroup(sorted_keys, row_ids, i, end, (*pin)->keys,
+                     (*pin)->values, hits);
+    } else {
+      MergeLeafGroup(sorted_keys, row_ids, i, end, leaf->keys, leaf->values,
+                     hits);
+    }
+    i = end;
+  }
+  return Status::OK();
+}
+
 bool BPlusTree::Contains(Slice key) const { return Get(key).ok(); }
+
+Status BPlusTree::MaterializeLeaf(Node* node) {
+  StatusOr<NodeStore::PagePin> pin = store_->GetPage(node->page_id);
+  if (!pin.ok()) return pin.status();
+  const NodeStore::Page& page = **pin;
+  node->keys.reserve(page.keys.size());
+  for (const Slice& key : page.keys) node->keys.push_back(key.ToBytes());
+  node->values = page.values;
+  node->paged = false;
+  return Status::OK();
+}
 
 Status BPlusTree::Delete(Slice key) {
   Node* node = root_.get();
   while (!node->is_leaf) {
     node = node->children[ChildIndex(node->keys, key)].get();
+  }
+  if (node->paged) {
+    CONCEALER_RETURN_IF_ERROR(MaterializeLeaf(node));
   }
   const size_t pos = LowerBound(node->keys, key);
   if (pos >= node->keys.size() || Slice(node->keys[pos]) != key) {
@@ -331,6 +501,14 @@ Status BPlusTree::Delete(Slice key) {
 
 void BPlusTree::Scan(
     const std::function<bool(Slice, uint64_t)>& visitor) const {
+  if (store_ != nullptr) {
+    // Paged wrapper: a page I/O error silently ends the scan early here
+    // (asserting in debug); ForEach is the error-reporting surface.
+    const Status st = ForEach(visitor);
+    assert(st.ok() && "Scan on a paged tree hit an I/O error");
+    (void)st;
+    return;
+  }
   const Node* node = root_.get();
   while (!node->is_leaf) node = node->children.front().get();
   for (; node != nullptr; node = node->next_leaf) {
@@ -338,6 +516,27 @@ void BPlusTree::Scan(
       if (!visitor(node->keys[i], node->values[i])) return;
     }
   }
+}
+
+Status BPlusTree::ForEach(
+    const std::function<bool(Slice, uint64_t)>& visitor) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = node->children.front().get();
+  for (; node != nullptr; node = node->next_leaf) {
+    if (node->paged) {
+      StatusOr<NodeStore::PagePin> pin = store_->GetPage(node->page_id);
+      if (!pin.ok()) return pin.status();
+      const NodeStore::Page& page = **pin;
+      for (size_t i = 0; i < page.keys.size(); ++i) {
+        if (!visitor(page.keys[i], page.values[i])) return Status::OK();
+      }
+      continue;
+    }
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      if (!visitor(node->keys[i], node->values[i])) return Status::OK();
+    }
+  }
+  return Status::OK();
 }
 
 Status BPlusTree::CheckInvariants() const {
@@ -353,13 +552,13 @@ Status BPlusTree::CheckInvariants() const {
   Bytes prev;
   bool has_prev = false;
   bool ordered = true;
-  Scan([&](Slice k, uint64_t) {
+  CONCEALER_RETURN_IF_ERROR(ForEach([&](Slice k, uint64_t) {
     if (has_prev && Slice(prev).Compare(k) >= 0) ordered = false;
     prev = k.ToBytes();
     has_prev = true;
     ++chained;
     return true;
-  });
+  }));
   if (!ordered) return Status::Internal("leaf chain not strictly increasing");
   if (chained != size_) return Status::Internal("leaf chain key count wrong");
   return Status::OK();
@@ -367,7 +566,28 @@ Status BPlusTree::CheckInvariants() const {
 
 Status BPlusTree::CheckNode(const Node* node, int depth, int* leaf_depth,
                             size_t* leaf_keys, bool is_root,
-                            bool relax_occupancy) {
+                            bool relax_occupancy) const {
+  if (node->is_leaf && node->paged) {
+    // Paged leaf: the same checks run against the pinned page (loading it
+    // re-verifies the frame checksum, so this path also proves the page
+    // bytes are intact).
+    StatusOr<NodeStore::PagePin> pin = store_->GetPage(node->page_id);
+    if (!pin.ok()) return pin.status();
+    const NodeStore::Page& page = **pin;
+    if (page.keys.size() > kFanout) return Status::Internal("node overflow");
+    if (!is_root && !relax_occupancy && page.keys.size() < kFanout / 4) {
+      return Status::Internal("node underflow");
+    }
+    for (size_t i = 1; i < page.keys.size(); ++i) {
+      if (page.keys[i - 1].Compare(page.keys[i]) >= 0) {
+        return Status::Internal("node keys not strictly increasing");
+      }
+    }
+    if (*leaf_depth == -1) *leaf_depth = depth;
+    if (*leaf_depth != depth) return Status::Internal("leaves at mixed depth");
+    *leaf_keys += page.keys.size();
+    return Status::OK();
+  }
   if (node->keys.size() > kFanout) {
     return Status::Internal("node overflow");
   }
@@ -398,6 +618,149 @@ Status BPlusTree::CheckNode(const Node* node, int depth, int* leaf_depth,
         CheckNode(child.get(), depth + 1, leaf_depth, leaf_keys, false,
                   relax_occupancy));
   }
+  return Status::OK();
+}
+
+// --- Paged persistence -----------------------------------------------------
+//
+// Directory body (the NodeStore's opaque tree-directory frame):
+//   height(4) | size(8) | had_deletes(1) | node...
+//   node: is_leaf(1) | leaf: page_id(4)
+//                    | internal: num_keys(4) | {klen(4)|key}* | children...
+//
+// Pre-order serialization visits leaves in chain order, so page ids are
+// dense AND equal to the leaf's chain position — AttachPaged exploits that
+// as a structural check (a directory whose i-th leaf names page j != i is
+// corrupt).
+
+Status BPlusTree::SaveNode(const Node* node, NodeFileBuilder* builder,
+                           Bytes* dir) const {
+  dir->push_back(node->is_leaf ? 1 : 0);
+  if (node->is_leaf) {
+    StatusOr<uint32_t> id(0u);
+    if (node->paged) {
+      // Stream the page through from the current file — bodies are
+      // already in the shared page format.
+      StatusOr<NodeStore::PagePin> pin = store_->GetPage(node->page_id);
+      if (!pin.ok()) return pin.status();
+      id = builder->AppendPage((*pin)->body);
+    } else {
+      Bytes body;
+      PutFixed32(&body, static_cast<uint32_t>(node->keys.size()));
+      for (size_t i = 0; i < node->keys.size(); ++i) {
+        PutLengthPrefixed(&body, node->keys[i]);
+        PutFixed64(&body, node->values[i]);
+      }
+      id = builder->AppendPage(body);
+    }
+    if (!id.ok()) return id.status();
+    PutFixed32(dir, *id);
+    return Status::OK();
+  }
+  PutFixed32(dir, static_cast<uint32_t>(node->keys.size()));
+  for (const Bytes& key : node->keys) PutLengthPrefixed(dir, key);
+  for (const auto& child : node->children) {
+    CONCEALER_RETURN_IF_ERROR(SaveNode(child.get(), builder, dir));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::SavePaged(NodeStore* store, uint64_t stamp) const {
+  NodeFileBuilder builder(store->path());
+  CONCEALER_RETURN_IF_ERROR(builder.Begin());
+  Bytes dir;
+  PutFixed32(&dir, static_cast<uint32_t>(height_));
+  PutFixed64(&dir, size_);
+  dir.push_back(had_deletes_ ? 1 : 0);
+  CONCEALER_RETURN_IF_ERROR(SaveNode(root_.get(), &builder, &dir));
+  return builder.Finish(dir, stamp);
+}
+
+Status BPlusTree::AttachPaged(NodeStore* store) {
+  if (!store->is_open()) {
+    return Status::FailedPrecondition("node store not open");
+  }
+  const Slice dir(store->directory());
+  size_t off = 0;
+  if (dir.size() < 13) return Status::Corruption("node directory truncated");
+  const uint32_t height = DecodeFixed32(dir.data());
+  const uint64_t size = DecodeFixed64(dir.data() + 4);
+  const bool had_deletes = dir.data()[12] != 0;
+  off = 13;
+  if (height < 1 || height > 64) {
+    return Status::Corruption("node directory: implausible height");
+  }
+
+  // Recursive-descent parse of the skeleton. Structure is forced, not
+  // trusted: a node is a leaf iff it sits at the bottom level, page ids
+  // must be dense in chain order, and internal fanout must be in range —
+  // any deviation is corruption, and the half-built tree is discarded.
+  std::vector<Node*> leaves;
+  std::function<StatusOr<std::unique_ptr<Node>>(int)> parse =
+      [&](int depth) -> StatusOr<std::unique_ptr<Node>> {
+    if (off >= dir.size()) {
+      return Status::Corruption("node directory truncated");
+    }
+    const bool is_leaf = dir.data()[off++] != 0;
+    if (is_leaf != (depth + 1 == static_cast<int>(height))) {
+      return Status::Corruption("node directory: leaf at wrong depth");
+    }
+    auto node = std::make_unique<Node>(is_leaf);
+    if (is_leaf) {
+      if (off + 4 > dir.size()) {
+        return Status::Corruption("node directory truncated");
+      }
+      node->page_id = DecodeFixed32(dir.data() + off);
+      off += 4;
+      if (node->page_id != leaves.size() ||
+          node->page_id >= store->num_pages()) {
+        return Status::Corruption("node directory: page id out of order");
+      }
+      node->paged = true;
+      leaves.push_back(node.get());
+      return StatusOr<std::unique_ptr<Node>>(std::move(node));
+    }
+    if (off + 4 > dir.size()) {
+      return Status::Corruption("node directory truncated");
+    }
+    const uint32_t num_keys = DecodeFixed32(dir.data() + off);
+    off += 4;
+    if (num_keys < 1 || num_keys > kFanout) {
+      return Status::Corruption("node directory: bad internal fanout");
+    }
+    node->keys.reserve(num_keys);
+    for (uint32_t i = 0; i < num_keys; ++i) {
+      Slice key;
+      if (!GetLengthPrefixedView(dir, &off, &key)) {
+        return Status::Corruption("node directory truncated");
+      }
+      node->keys.push_back(key.ToBytes());
+    }
+    node->children.reserve(num_keys + 1);
+    for (uint32_t i = 0; i <= num_keys; ++i) {
+      StatusOr<std::unique_ptr<Node>> child = parse(depth + 1);
+      if (!child.ok()) return child.status();
+      node->children.push_back(std::move(*child));
+    }
+    return StatusOr<std::unique_ptr<Node>>(std::move(node));
+  };
+
+  StatusOr<std::unique_ptr<Node>> root = parse(0);
+  if (!root.ok()) return root.status();
+  if (off != dir.size()) {
+    return Status::Corruption("node directory: trailing bytes");
+  }
+  if (leaves.size() != store->num_pages()) {
+    return Status::Corruption("node directory: unreferenced pages");
+  }
+  for (size_t i = 0; i + 1 < leaves.size(); ++i) {
+    leaves[i]->next_leaf = leaves[i + 1];
+  }
+  root_ = std::move(*root);
+  height_ = static_cast<int>(height);
+  size_ = size;
+  had_deletes_ = had_deletes;
+  store_ = store;
   return Status::OK();
 }
 

@@ -11,7 +11,10 @@
 
 namespace concealer {
 
-/// In-memory B+-tree mapping opaque byte-string keys to 64-bit row ids.
+class NodeStore;
+class NodeFileBuilder;
+
+/// B+-tree mapping opaque byte-string keys to 64-bit row ids.
 ///
 /// This is the stand-in for the DBMS index the paper relies on ("Concealer
 /// exploits the index supported by MySQL", §1): the data provider emits one
@@ -22,6 +25,20 @@ namespace concealer {
 ///
 /// Leaf nodes are linked for ordered scans; internal nodes hold separator
 /// keys. Fanout is fixed at compile time.
+///
+/// Paged mode: AttachPaged() rebinds the tree to a NodeStore — internal
+/// levels stay resident (their keys are ~1/kFanout of the total), leaf
+/// nodes become stubs that name an on-disk node page, and lookups pin
+/// pages through the store's bounded LRU cache. Datasets whose index
+/// exceeds RAM stay serveable; answers are byte-identical to the resident
+/// tree. Paged I/O can fail, so the Status-returning probes (Find,
+/// BulkFind, ForEach) are the production surface in paged mode — they
+/// fail closed on a corrupt or unreadable page instead of answering
+/// wrong. The bool/size_t legacy probes (Lookup, BulkGet, Scan) remain
+/// exact on resident trees and degrade to debug-asserting wrappers when
+/// paged. Insert/Delete transparently re-materialize the leaf they touch
+/// (the node file goes stale; its generation stamp catches that at the
+/// next recovery, and the next persist rewrites it).
 class BPlusTree {
  public:
   static constexpr int kFanout = 64;  // Max keys per node.
@@ -92,8 +109,50 @@ class BPlusTree {
   void Scan(const std::function<bool(Slice, uint64_t)>& visitor) const;
 
   /// Validates B+-tree invariants (sorted keys, node occupancy, uniform leaf
-  /// depth, leaf chain consistency). Used by property tests.
+  /// depth, leaf chain consistency). Used by property tests. In paged mode
+  /// this loads every page (checksummed), so it doubles as a full-file
+  /// integrity scan.
   Status CheckInvariants() const;
+
+  // --- Paged mode (see the class comment) --------------------------------
+
+  /// Status-returning exact-match probe: `*found` and `*row_id` are set on
+  /// a hit, `*found` is false on a clean miss, and a paged I/O or
+  /// corruption failure returns non-OK with outputs untouched by the
+  /// failing page. Identical answers to Lookup on resident trees.
+  Status Find(Slice key, uint64_t* row_id, bool* found) const;
+
+  /// Status-returning BulkGet. On resident trees this IS BulkGet (same
+  /// batched descent, same results, `*hits` = return value). In paged
+  /// mode the level-by-level routing becomes the I/O batching point: once
+  /// every probe is routed to its leaf, the distinct leaf pages the batch
+  /// needs are known, so one batched prefetch (NodeStore::Prefetch) is
+  /// issued before any probe pins a page — the cold reads overlap instead
+  /// of serializing probe by probe. Fails closed on page damage.
+  Status BulkFind(const Slice* sorted_keys, size_t n, uint64_t* row_ids,
+                  size_t* hits) const;
+
+  /// Status-returning Scan: in-order visitation that works in paged mode
+  /// (pins each leaf page along the chain). Early stop via the visitor is
+  /// not an error.
+  Status ForEach(const std::function<bool(Slice, uint64_t)>& visitor) const;
+
+  /// Serializes the tree into `store`'s node file (crash-safe: tmp +
+  /// rename), stamping it with `stamp` (the engine's durable_generation —
+  /// the sidecar freshness rule). Works on resident, paged or mixed
+  /// trees; paged leaves are streamed through from the current file.
+  /// Does not change this tree — call store->Open() + AttachPaged() to
+  /// swap onto the new file.
+  Status SavePaged(NodeStore* store, uint64_t stamp) const;
+
+  /// Replaces this tree with the one in `store` (must be Open()): internal
+  /// skeleton resident, every leaf a page stub. Fails with kCorruption on
+  /// a malformed directory, leaving the tree empty. `store` must outlive
+  /// the tree (EncryptedTable's engine owns both, in that order).
+  Status AttachPaged(NodeStore* store);
+
+  /// True when leaves may live in a NodeStore.
+  bool paged() const { return store_ != nullptr; }
 
  private:
   struct Node;
@@ -101,14 +160,20 @@ class BPlusTree {
 
   SplitResult InsertRecursive(Node* node, Slice key, uint64_t row_id,
                               Status* st);
-  static Status CheckNode(const Node* node, int depth, int* leaf_depth,
-                          size_t* leaf_keys, bool is_root,
-                          bool relax_occupancy);
+  Status CheckNode(const Node* node, int depth, int* leaf_depth,
+                   size_t* leaf_keys, bool is_root,
+                   bool relax_occupancy) const;
+  /// Copies a paged leaf's page back into the node (mutation path).
+  Status MaterializeLeaf(Node* node);
+  Status SaveNode(const Node* node, NodeFileBuilder* builder,
+                  Bytes* dir) const;
 
   std::unique_ptr<Node> root_;
   size_t size_ = 0;
   int height_ = 1;
   bool had_deletes_ = false;  // Relaxes the occupancy invariant check.
+  /// Non-owned page source for paged leaves (null = fully resident).
+  NodeStore* store_ = nullptr;
 };
 
 }  // namespace concealer

@@ -7,6 +7,7 @@
 
 #include "common/coding.h"
 #include "concealer/epoch_io.h"
+#include "storage/node_store.h"
 #include "storage/row_store.h"
 
 namespace concealer {
@@ -57,24 +58,28 @@ Status EncryptedTable::InsertBatch(std::vector<Row> rows) {
   return Status::OK();
 }
 
-void EncryptedTable::FetchRefs(const std::vector<Bytes>& keys,
-                               std::vector<RowRef>* out) const {
+Status EncryptedTable::FetchRefs(const std::vector<Bytes>& keys,
+                                 std::vector<RowRef>* out) const {
   // Counters are accumulated locally and folded in under the lock once per
   // batch: fetches run concurrently in the parallel query path, and the
-  // B+-tree itself is read-only here.
+  // B+-tree itself is read-only here (paged page-cache traffic is
+  // internally locked).
   const size_t n = keys.size();
-  out->reserve(out->size() + n);
+  const size_t out_base = out->size();
+  out->reserve(out_base + n);
   const uint64_t generation = store_->generation();
   uint64_t hits = 0;
   uint64_t bytes = 0;
+  Status st;
   if (n > 1 && BulkIndexProbing()) {
     // Bulk path: sort the probe set once (a permutation array, so the
     // caller-visible output order is untouched), resolve every probe in
-    // one shared descent plus a leaf-chain merge (BPlusTree::BulkGet),
+    // one shared descent plus a leaf-chain merge (BPlusTree::BulkFind),
     // then emit matches in the original order. Refs, order and every stat
     // are identical to the per-key loop below — a fetch unit's hundreds
     // of trapdoors amortize the root-to-leaf descent instead of repeating
-    // it per probe.
+    // it per probe, and on a paged index the batch prefetches its leaf
+    // pages in one shot before any probe blocks on disk.
     std::vector<uint32_t> perm(n);
     for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
     std::sort(perm.begin(), perm.end(), [&keys](uint32_t a, uint32_t b) {
@@ -83,27 +88,33 @@ void EncryptedTable::FetchRefs(const std::vector<Bytes>& keys,
     std::vector<Slice> sorted(n);
     for (size_t i = 0; i < n; ++i) sorted[i] = keys[perm[i]];
     std::vector<uint64_t> sorted_ids(n);
-    index_.BulkGet(sorted.data(), n, sorted_ids.data());
-    std::vector<uint64_t> ids(n);
-    for (size_t i = 0; i < n; ++i) ids[perm[i]] = sorted_ids[i];
-    for (size_t i = 0; i < n; ++i) {
-      if (ids[i] == BPlusTree::kNoMatch) continue;
-      const Row* row = store_->GetRef(ids[i]);
-      // A null ref for an indexed id means the row's segment is evicted;
-      // the lifecycle layer keeps queried epochs resident, so treat it
-      // like a miss rather than crash (debug builds assert upstream).
-      if (row == nullptr) continue;
-      ++hits;
-      bytes += RowByteSize(*row);
-      out->push_back(RowRef{ids[i], row, store_.get(), generation});
+    size_t bulk_hits = 0;
+    st = index_.BulkFind(sorted.data(), n, sorted_ids.data(), &bulk_hits);
+    if (st.ok()) {
+      std::vector<uint64_t> ids(n);
+      for (size_t i = 0; i < n; ++i) ids[perm[i]] = sorted_ids[i];
+      for (size_t i = 0; i < n; ++i) {
+        if (ids[i] == BPlusTree::kNoMatch) continue;
+        const Row* row = store_->GetRef(ids[i]);
+        // A null ref for an indexed id means the row's segment is evicted;
+        // the lifecycle layer keeps queried epochs resident, so treat it
+        // like a miss rather than crash (debug builds assert upstream).
+        if (row == nullptr) continue;
+        ++hits;
+        bytes += RowByteSize(*row);
+        out->push_back(RowRef{ids[i], row, store_.get(), generation});
+      }
     }
   } else {
     // Per-key fallback (single probes, or CONCEALER_BULK_INDEX=0): one
-    // full descent per probe; Lookup reports misses by return value so
-    // the hot loop builds no Status.
+    // full descent per probe; Find reports misses through `found` so the
+    // hot loop builds no Status.
     for (const Bytes& key : keys) {
       uint64_t row_id = 0;
-      if (!index_.Lookup(key, &row_id)) continue;
+      bool found = false;
+      st = index_.Find(key, &row_id, &found);
+      if (!st.ok()) break;
+      if (!found) continue;
       const Row* row = store_->GetRef(row_id);
       if (row == nullptr) continue;  // Evicted segment: same as above.
       ++hits;
@@ -111,27 +122,34 @@ void EncryptedTable::FetchRefs(const std::vector<Bytes>& keys,
       out->push_back(RowRef{row_id, row, store_.get(), generation});
     }
   }
+  if (!st.ok()) {
+    // Fail closed: a paged-index I/O error must not leak a partial ref
+    // batch or skew the adversary-visible counters.
+    out->resize(out_base);
+    return st;
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.index_probes += n;
   stats_.index_hits += hits;
   stats_.rows_fetched += hits;
   stats_.bytes_fetched += bytes;
+  return Status::OK();
 }
 
-std::vector<Row> EncryptedTable::FetchByIndexKeys(
+StatusOr<std::vector<Row>> EncryptedTable::FetchByIndexKeys(
     const std::vector<Bytes>& keys) const {
   std::vector<RowRef> refs;
-  FetchRefs(keys, &refs);
+  CONCEALER_RETURN_IF_ERROR(FetchRefs(keys, &refs));
   std::vector<Row> out;
   out.reserve(refs.size());
   for (const RowRef& ref : refs) out.push_back(*ref.get());
   return out;
 }
 
-std::vector<std::pair<uint64_t, Row>> EncryptedTable::FetchWithIds(
+StatusOr<std::vector<std::pair<uint64_t, Row>>> EncryptedTable::FetchWithIds(
     const std::vector<Bytes>& keys) const {
   std::vector<RowRef> refs;
-  FetchRefs(keys, &refs);
+  CONCEALER_RETURN_IF_ERROR(FetchRefs(keys, &refs));
   std::vector<std::pair<uint64_t, Row>> out;
   out.reserve(refs.size());
   for (const RowRef& ref : refs) out.emplace_back(ref.row_id, *ref.get());
@@ -199,19 +217,43 @@ Status EncryptedTable::PersistIndex(const std::string& sidecar_path) const {
   Bytes body;
   PutFixed64(&body, store_->durable_generation());
   PutFixed64(&body, index_.size());
-  index_.Scan([&](Slice key, uint64_t row_id) {
+  CONCEALER_RETURN_IF_ERROR(index_.ForEach([&](Slice key, uint64_t row_id) {
     PutLengthPrefixed(&body, key);
     PutFixed64(&body, row_id);
     return true;
-  });
+  }));
   Bytes framed;
   AppendFramedRecord(&framed, body);
   return WriteFileBytes(sidecar_path, framed);
 }
 
+Status EncryptedTable::PersistPagedIndex() {
+  NodeStore* ns = store_->node_store();
+  if (ns == nullptr) {
+    return Status::FailedPrecondition("engine has no node store");
+  }
+  CONCEALER_RETURN_IF_ERROR(index_.SavePaged(ns, store_->durable_generation()));
+  // Re-open over the just-renamed file and swap the tree onto it: resident
+  // leaves become page stubs served through the bounded cache.
+  CONCEALER_RETURN_IF_ERROR(ns->Open());
+  return index_.AttachPaged(ns);
+}
+
 Status EncryptedTable::RecoverIndex(const std::string& sidecar_path) {
   if (index_.size() != 0) {
     return Status::FailedPrecondition("index already built");
+  }
+  // Fastest path: a fresh node file attaches the paged index without
+  // touching row bytes or leaf pages (two small reads: footer + directory).
+  // Any failure — absent file, stale stamp, torn tail, corrupt directory —
+  // falls through; the frame checksums make corruption indistinguishable
+  // from staleness here, and both get the same safe answer: rebuild.
+  if (NodeStore* ns = store_->node_store()) {
+    if (ns->Open().ok() && ns->stamp() == store_->durable_generation() &&
+        index_.AttachPaged(ns).ok()) {
+      return Status::OK();
+    }
+    index_ = BPlusTree();
   }
   // Fast path: a fresh sidecar (generation stamp matches the engine's
   // durable record count) restores the index without touching row bytes.

@@ -95,16 +95,22 @@ class EncryptedTable {
   /// reservation, no row copies — the decrypt/verify loop reads the stored
   /// ciphertext bytes in place (for the mmap engine, straight out of the
   /// mapped segment). See RowRef for the borrow rules.
-  void FetchRefs(const std::vector<Bytes>& keys,
-                 std::vector<RowRef>* out) const;
+  ///
+  /// With a paged index a probe may hit disk, so this can fail — and it
+  /// fails closed (no partial refs appended, stats untouched) rather than
+  /// answering from a corrupt page. On a fully resident index it always
+  /// succeeds.
+  Status FetchRefs(const std::vector<Bytes>& keys,
+                   std::vector<RowRef>* out) const;
 
   /// Copying fetch for callers that need owned rows. Built on FetchRefs
   /// (one copy per row, straight from the store).
-  std::vector<Row> FetchByIndexKeys(const std::vector<Bytes>& keys) const;
+  StatusOr<std::vector<Row>> FetchByIndexKeys(
+      const std::vector<Bytes>& keys) const;
 
   /// Like FetchByIndexKeys but also returns the matched row ids (needed by
   /// the dynamic-insertion path to rewrite rows in place).
-  std::vector<std::pair<uint64_t, Row>> FetchWithIds(
+  StatusOr<std::vector<std::pair<uint64_t, Row>>> FetchWithIds(
       const std::vector<Bytes>& keys) const;
 
   /// Full scan in row-id order (Opaque baseline). Visitor returns false to
@@ -124,16 +130,32 @@ class EncryptedTable {
 
   // --- Index persistence (persistent engines) -------------------------
 
-  /// Rebuilds the B+-tree after the engine was re-opened from disk: loads
-  /// the sidecar written by PersistIndex if it is present and fresh (its
-  /// engine-generation stamp matches), else re-scans the engine's rows.
-  /// All rows must be resident. Call once, before serving queries.
+  /// Rebuilds the B+-tree after the engine was re-opened from disk. Tries,
+  /// in order: (1) the engine's node file (paged engines) — if its
+  /// durable-generation stamp is fresh, the index ATTACHES instead of
+  /// loading: internal levels come from the directory, leaves stay on
+  /// disk, so an index larger than RAM reopens in two small reads;
+  /// (2) the sidecar written by PersistIndex, if fresh; (3) a full scan of
+  /// the engine's rows (which must all be resident). A torn or corrupt
+  /// node file / sidecar falls through to the next source — never a wrong
+  /// index. Call once, before serving queries.
   Status RecoverIndex(const std::string& sidecar_path);
 
   /// Writes the index sidecar: every (key, row_id) pair, stamped with the
   /// engine generation so a stale sidecar (rows appended or rewritten
   /// after the dump) is detected and ignored at recovery.
   Status PersistIndex(const std::string& sidecar_path) const;
+
+  /// Paged engines only (engine()->node_store() != null): serializes the
+  /// B+-tree's leaves into the engine's node file (crash-safe tmp+rename,
+  /// stamped with durable_generation), then re-attaches the index to the
+  /// new file — resident leaf memory drops to page stubs, and the bounded
+  /// node cache takes over. The persist schedule is the service layer's
+  /// (geometric, with the sidecar).
+  Status PersistPagedIndex();
+
+  /// True when the index is currently serving leaves from the node file.
+  bool paged_index() const { return index_.paged(); }
 
   const std::string& name() const { return name_; }
   size_t num_columns() const { return num_columns_; }

@@ -79,6 +79,12 @@ StatusOr<std::unique_ptr<SegmentEngine>> SegmentEngine::Open(Options options) {
   CONCEALER_RETURN_IF_ERROR(MkdirRecursive(options.dir));
 
   std::unique_ptr<SegmentEngine> engine(new SegmentEngine(std::move(options)));
+  if (engine->options_.paged_index) {
+    NodeStore::Options node_options;
+    node_options.path = engine->options_.dir + "/index-nodes";
+    node_options.cache_bytes = engine->options_.node_cache_bytes;
+    engine->node_store_ = std::make_unique<NodeStore>(node_options);
+  }
 
   // Collect existing segment files and recover them in index order.
   std::vector<uint32_t> indexes;
@@ -179,7 +185,14 @@ SegmentEngine::~SegmentEngine() {
     if (seg.fd >= 0) ::close(seg.fd);
     if (options_.remove_on_close) ::unlink(seg.path.c_str());
   }
-  if (options_.remove_on_close) ::rmdir(options_.dir.c_str());
+  if (options_.remove_on_close) {
+    if (node_store_ != nullptr) {
+      node_store_->Close();
+      ::unlink(node_store_->path().c_str());
+      ::unlink((node_store_->path() + ".tmp").c_str());
+    }
+    ::rmdir(options_.dir.c_str());
+  }
 }
 
 Status SegmentEngine::NewSegment(size_t min_capacity) {
@@ -460,6 +473,12 @@ Status SegmentEngine::EvictSegments(uint32_t lo, uint32_t hi) {
     seg.map = nullptr;
     seg.resident = false;
   }
+  // A cold epoch drops its index pages with its rows. DET index keys
+  // scatter an epoch's rows across the whole key space, so there is no
+  // per-epoch page range to evict selectively — the cache is dropped
+  // wholesale and hot pages re-warm on the next probe batch (bounded,
+  // cheap: upper levels are resident, only touched leaves reload).
+  if (node_store_ != nullptr) node_store_->DropCache();
   ++generation_;
   return Status::OK();
 }
@@ -630,6 +649,13 @@ StorageOptions StorageOptions::FromEnv() {
   if (env != nullptr && std::strcmp(env, "mmap") == 0) {
     options.engine = Engine::kMmap;
   }
+  const char* paged = std::getenv("CONCEALER_PAGED_INDEX");
+  if (paged != nullptr && paged[0] == '0') options.paged_index = false;
+  const char* cache = std::getenv("CONCEALER_NODE_CACHE_BYTES");
+  if (cache != nullptr) {
+    const uint64_t bytes = std::strtoull(cache, nullptr, 10);
+    if (bytes > 0) options.node_cache_bytes = bytes;
+  }
   return options;
 }
 
@@ -640,6 +666,8 @@ StatusOr<std::unique_ptr<StorageEngine>> MakeStorageEngine(
   }
   SegmentEngine::Options seg_options;
   seg_options.segment_bytes = options.segment_bytes;
+  seg_options.paged_index = options.paged_index;
+  seg_options.node_cache_bytes = options.node_cache_bytes;
   if (options.dir.empty()) {
     const char* tmp = std::getenv("TMPDIR");
     std::string tmpl =

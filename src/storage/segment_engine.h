@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "storage/node_store.h"
 #include "storage/storage_engine.h"
 
 namespace concealer {
@@ -52,6 +53,11 @@ class SegmentEngine : public StorageEngine {
     /// Ephemeral mode: unlink every file and remove the directory on
     /// destruction (benches/tests that only want mmap semantics).
     bool remove_on_close = false;
+    /// Attach a NodeStore over "<dir>/index-nodes" so the table's B+-tree
+    /// can page its leaves to disk (StorageOptions::paged_index).
+    bool paged_index = true;
+    /// Node-page cache budget (see StorageOptions::node_cache_bytes).
+    uint64_t node_cache_bytes = 64ull << 20;
   };
 
   /// Opens (and, if the directory already holds segments, recovers) an
@@ -106,6 +112,9 @@ class SegmentEngine : public StorageEngine {
 
   const std::string& dir() const { return options_.dir; }
 
+  /// The paged-index node store (null when Options::paged_index is off).
+  NodeStore* node_store() override { return node_store_.get(); }
+
  private:
   struct Segment {
     std::string path;
@@ -152,6 +161,9 @@ class SegmentEngine : public StorageEngine {
   Status TombstoneSegment(uint32_t index, uint64_t purged_records);
 
   Options options_;
+  /// Paged-index leaf pages live beside the segments; eviction of cold
+  /// epochs trims this cache too (see EvictSegments).
+  std::unique_ptr<NodeStore> node_store_;
   std::vector<Segment> segments_;
   std::vector<Row> rows_;      // Borrowed views; evicted rows are cleared.
   std::vector<RowLoc> locs_;   // Parallel to rows_.

@@ -10,6 +10,8 @@
 
 namespace concealer {
 
+class NodeStore;
+
 /// The pluggable row heap underneath EncryptedTable — the part of the
 /// untrusted DBMS that stores the encrypted tuples. Two implementations:
 ///
@@ -71,6 +73,13 @@ class StorageEngine {
 
   /// True when rows survive destruction of this object (on-disk engines).
   virtual bool persistent() const { return false; }
+
+  /// The engine's paged-index node store (the B+-tree leaf-page file +
+  /// bounded page cache beside the segments), or null for engines without
+  /// one — the in-memory engine keeps the index fully resident. Owned by
+  /// the engine and destroyed with it; EncryptedTable declares its engine
+  /// before its index, so tree-held pointers never dangle.
+  virtual NodeStore* node_store() { return nullptr; }
 
   // --- Segment lifecycle (persistent engines; trivial no-ops in memory) --
   // The lifecycle manager aligns epochs with segments: it seals after each
@@ -145,8 +154,16 @@ struct StorageOptions {
   std::string dir;
   /// Capacity of one segment file. Oversized rows get a dedicated segment.
   uint64_t segment_bytes = 8ull << 20;
+  /// Page the B+-tree index to disk for kMmap engines: leaf pages live in
+  /// an `index-nodes` file beside the segments and load on demand through
+  /// a bounded cache, so an index larger than RAM stays serveable.
+  /// CONCEALER_PAGED_INDEX=0 is the rollback toggle. No effect on kMemory.
+  bool paged_index = true;
+  /// Byte budget of the node-page LRU cache (CONCEALER_NODE_CACHE_BYTES).
+  uint64_t node_cache_bytes = 64ull << 20;
 
-  /// Reads CONCEALER_STORAGE_ENGINE ("memory" default, "mmap").
+  /// Reads CONCEALER_STORAGE_ENGINE ("memory" default, "mmap"), plus the
+  /// paged-index toggles above.
   static StorageOptions FromEnv();
 };
 

@@ -410,9 +410,10 @@ TEST_P(EncryptedTableTest, InsertAndFetchByIndexKeys) {
 
   std::vector<Bytes> keys{Key(5), Key(50), Key(500)};  // Last one misses.
   auto rows = table->FetchByIndexKeys(keys);
-  ASSERT_EQ(rows.size(), 2u);
-  EXPECT_EQ(rows[0].columns[0], Column(Bytes{5}));
-  EXPECT_EQ(rows[1].columns[0], Column(Bytes{50}));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].columns[0], Column(Bytes{5}));
+  EXPECT_EQ((*rows)[1].columns[0], Column(Bytes{50}));
 
   const TableStats stats = table->stats();
   EXPECT_EQ(stats.index_probes, 3u);
@@ -454,12 +455,14 @@ TEST_P(EncryptedTableTest, FetchWithIdsAndReplace) {
     ASSERT_TRUE(table->Insert(Row{{Bytes{uint8_t(i)}, Key(i)}}).ok());
   }
   auto pairs = table->FetchWithIds({Key(3)});
-  ASSERT_EQ(pairs.size(), 1u);
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
   Row updated{{Bytes{0xee}, Key(3)}};
-  ASSERT_TRUE(table->ReplaceRows({{pairs[0].first, updated}}).ok());
+  ASSERT_TRUE(table->ReplaceRows({{(*pairs)[0].first, updated}}).ok());
   auto rows = table->FetchByIndexKeys({Key(3)});
-  ASSERT_EQ(rows.size(), 1u);
-  EXPECT_EQ(rows[0].columns[0], Column(Bytes{0xee}));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].columns[0], Column(Bytes{0xee}));
 }
 
 TEST_P(EncryptedTableTest, FetchRefsBorrowsRowsAndCountsBytes) {
@@ -470,7 +473,7 @@ TEST_P(EncryptedTableTest, FetchRefsBorrowsRowsAndCountsBytes) {
     ASSERT_TRUE(table->Insert(std::move(row)).ok());
   }
   std::vector<RowRef> refs;
-  table->FetchRefs({Key(2), Key(7), Key(999), Key(11)}, &refs);
+  ASSERT_TRUE(table->FetchRefs({Key(2), Key(7), Key(999), Key(11)}, &refs).ok());
   ASSERT_EQ(refs.size(), 3u);
   // Borrowed pointers read the stored bytes in place (no copy).
   EXPECT_EQ(refs[0].get()->columns[0], Column(Bytes{2}));
@@ -523,13 +526,13 @@ TEST_P(EncryptedTableTest, BulkAndPerKeyFetchRefsAreIdentical) {
   table->ResetStats();
   SetBulkIndexProbing(true);
   std::vector<RowRef> bulk;
-  table->FetchRefs(keys, &bulk);
+  ASSERT_TRUE(table->FetchRefs(keys, &bulk).ok());
   const TableStats bulk_stats = table->stats();
 
   table->ResetStats();
   SetBulkIndexProbing(false);
   std::vector<RowRef> per_key;
-  table->FetchRefs(keys, &per_key);
+  ASSERT_TRUE(table->FetchRefs(keys, &per_key).ok());
   const TableStats per_key_stats = table->stats();
   SetBulkIndexProbing(true);  // Restore the process-wide default.
 
@@ -551,7 +554,7 @@ TEST_P(EncryptedTableTest, RowRefStaleAfterMutation) {
     ASSERT_TRUE(table->Insert(Row{{Bytes{uint8_t(i)}, Key(i)}}).ok());
   }
   std::vector<RowRef> refs;
-  table->FetchRefs({Key(1)}, &refs);
+  ASSERT_TRUE(table->FetchRefs({Key(1)}, &refs).ok());
   ASSERT_EQ(refs.size(), 1u);
   EXPECT_FALSE(refs[0].stale());
   // Any engine mutation invalidates the borrow — the documented rule the
@@ -912,8 +915,9 @@ TEST(SegmentEngineTest, IndexSidecarRoundTripsAndDetectsStaleness) {
         "t", 2, 1, OpenSegEngine(dir));
     ASSERT_TRUE(table->RecoverIndex(sidecar).ok());
     auto rows = table->FetchByIndexKeys({Key(7)});
-    ASSERT_EQ(rows.size(), 1u);
-    EXPECT_EQ(rows[0].columns[0], Column(Bytes{7}));
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows->size(), 1u);
+    EXPECT_EQ((*rows)[0].columns[0], Column(Bytes{7}));
     // Append one more row WITHOUT refreshing the sidecar: the stamp is now
     // stale and the next recovery must rebuild from rows instead.
     ASSERT_TRUE(table->Insert(Row{{Bytes{0xaa}, Key(100)}}).ok());
@@ -923,8 +927,9 @@ TEST(SegmentEngineTest, IndexSidecarRoundTripsAndDetectsStaleness) {
         "t", 2, 1, OpenSegEngine(dir));
     ASSERT_TRUE(table->RecoverIndex(sidecar).ok());  // Stale -> rebuild.
     auto rows = table->FetchByIndexKeys({Key(100), Key(7)});
-    ASSERT_EQ(rows.size(), 2u);
-    EXPECT_EQ(rows[0].columns[0], Column(Bytes{0xaa}));
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows->size(), 2u);
+    EXPECT_EQ((*rows)[0].columns[0], Column(Bytes{0xaa}));
   }
   RemoveDirRecursive(dir);
 }
@@ -990,7 +995,7 @@ TEST(SegmentCompactionTest, BorrowsGoStaleAcrossCompaction) {
   ASSERT_TRUE(table->engine()->SealSegment().ok());
 
   std::vector<RowRef> refs;
-  table->FetchRefs({Key(45)}, &refs);
+  ASSERT_TRUE(table->FetchRefs({Key(45)}, &refs).ok());
   ASSERT_EQ(refs.size(), 1u);
   EXPECT_FALSE(refs[0].stale());
 
@@ -1002,7 +1007,7 @@ TEST(SegmentCompactionTest, BorrowsGoStaleAcrossCompaction) {
   // unmapped) record.
   EXPECT_TRUE(refs[0].stale());
   refs.clear();
-  table->FetchRefs({Key(45)}, &refs);
+  ASSERT_TRUE(table->FetchRefs({Key(45)}, &refs).ok());
   ASSERT_EQ(refs.size(), 1u);
   EXPECT_FALSE(refs[0].stale());
   EXPECT_EQ(refs[0].get()->columns[0], Column(Bytes{45}));
